@@ -1,0 +1,101 @@
+// Ablation B: building-block round latency vs provider count.
+//
+// Virtual-time cost of one invocation of each framework block (input
+// validation, common coin, data transfer) as m grows — the constant
+// coordination floor every distributed run pays (visible as the flat region
+// of Fig. 4/5 at small n).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "blocks/common_coin.hpp"
+#include "blocks/data_transfer.hpp"
+#include "blocks/input_validation.hpp"
+#include "net/sim_transport.hpp"
+
+namespace {
+
+using namespace dauct;
+
+template <typename MakeBlock, typename StartBlock>
+double run_block(std::size_t m, std::uint64_t seed, MakeBlock make, StartBlock start) {
+  sim::Scheduler scheduler(m, sim::LatencyModel::community(), seed);
+  std::vector<std::unique_ptr<net::SimEndpoint>> endpoints;
+  using Block = decltype(make(std::declval<blocks::Endpoint&>()));
+  std::vector<Block> nodes;
+  for (NodeId j = 0; j < m; ++j) {
+    endpoints.push_back(std::make_unique<net::SimEndpoint>(scheduler, j, m, seed + j));
+    nodes.push_back(make(*endpoints[j]));
+    auto* node = nodes.back().get();
+    scheduler.set_deliver(j, [node](const net::Message& msg) { node->handle(msg); });
+  }
+  for (NodeId j = 0; j < m; ++j) start(*nodes[j], j);
+  scheduler.run();
+  sim::SimTime last = 0;
+  for (NodeId j = 0; j < m; ++j) last = std::max(last, scheduler.clock(j));
+  return sim::to_seconds(last);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation B: per-block round latency (virtual seconds) vs m\n");
+  const std::vector<std::size_t> provider_counts = {3, 4, 5, 6, 8, 10, 12, 16};
+
+  std::vector<std::string> cols;
+  for (std::size_t m : provider_counts) cols.push_back("m=" + std::to_string(m));
+  bench::print_header("block", cols);
+
+  const Bytes payload(512, 0xab);  // a representative 512-byte task result
+
+  {
+    std::vector<double> cells;
+    for (std::size_t m : provider_counts) {
+      cells.push_back(run_block(
+          m, 11,
+          [](blocks::Endpoint& ep) {
+            return std::make_unique<blocks::InputValidation>(ep, "iv");
+          },
+          [&](blocks::InputValidation& b, NodeId) { b.start(payload); }));
+    }
+    bench::print_row("input-valid", cells);
+  }
+  {
+    std::vector<double> cells;
+    for (std::size_t m : provider_counts) {
+      cells.push_back(run_block(
+          m, 13,
+          [](blocks::Endpoint& ep) {
+            return std::make_unique<blocks::CommonCoin>(ep, "coin");
+          },
+          [](blocks::CommonCoin& b, NodeId) {
+            b.start(blocks::DistributionSpec::seed64());
+          }));
+    }
+    bench::print_row("common-coin", cells);
+  }
+  {
+    std::vector<double> cells;
+    for (std::size_t m : provider_counts) {
+      // k+1 = 2 sources transfer to everyone.
+      std::vector<NodeId> sources = {0, 1};
+      std::vector<NodeId> receivers(m);
+      for (NodeId j = 0; j < m; ++j) receivers[j] = j;
+      cells.push_back(run_block(
+          m, 17,
+          [&](blocks::Endpoint& ep) {
+            return std::make_unique<blocks::DataTransfer>(ep, "dt", sources,
+                                                          receivers);
+          },
+          [&](blocks::DataTransfer& b, NodeId j) {
+            b.start(j < 2 ? std::optional<Bytes>(payload) : std::nullopt);
+          }));
+    }
+    bench::print_row("data-transfer", cells);
+  }
+
+  std::printf("# expectation: coin ≈ 2 rounds > validation ≈ 1 round ≈ transfer;\n");
+  std::printf("# near-constant in m: these rounds ship digest-sized payloads, so\n");
+  std::printf("# receive occupancy is negligible — this is the fixed coordination\n");
+  std::printf("# floor of every distributed run (the small-n plateau of Figs. 4-5)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Adversaries end to end: equivocating / silent / invalid bidders are
+// absorbed by the bid agreement, while a colluding provider forging protocol
+// messages is detected and collapses the auction to ⊥ (utility 0 for
+// everyone — which is exactly why rational coalitions don't do it).
+//
+//   build/examples/adversarial_bidders
+#include <cstdio>
+
+#include "adversary/resilience_harness.hpp"
+#include "auction/workload.hpp"
+#include "core/adapters.hpp"
+#include "runtime/sim_runtime.hpp"
+
+int main() {
+  using namespace dauct;
+
+  crypto::Rng rng(4242);
+  const auction::AuctionInstance market =
+      auction::generate(auction::double_auction_workload(12, 5), rng);
+
+  core::AuctioneerSpec spec;
+  spec.m = 5;
+  spec.k = 2;
+  spec.num_bidders = 12;
+  core::DistributedAuctioneer auctioneer(
+      spec, std::make_shared<core::DoubleAuctionAdapter>());
+
+  // --- Part 1: misbehaving bidders -------------------------------------
+  std::printf("== misbehaving bidders ==\n");
+  runtime::SimRunConfig cfg;
+  cfg.bidder_script[2] = adversary::equivocating_bidder(/*split=*/2);
+  cfg.bidder_script[5] = adversary::silent_bidder();
+  cfg.bidder_script[7] = adversary::invalid_bidder();
+
+  const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, market);
+  if (run.global_outcome.ok()) {
+    const auto& result = run.global_outcome.value();
+    std::printf("auction completed despite bidder misbehaviour (%s virtual)\n",
+                sim::format_time(run.makespan).c_str());
+    std::printf("  bidder 2 (equivocated): majority view won, allocated %s\n",
+                result.allocation.allocated_to(2).str().c_str());
+    std::printf("  bidder 5 (silent):      neutral bid, allocated %s\n",
+                result.allocation.allocated_to(5).str().c_str());
+    std::printf("  bidder 7 (invalid bid): neutral bid, allocated %s\n",
+                result.allocation.allocated_to(7).str().c_str());
+  } else {
+    std::printf("unexpected abort: %s\n",
+                abort_reason_name(run.global_outcome.bottom().reason));
+  }
+
+  // --- Part 2: a colluding provider coalition ---------------------------
+  std::printf("\n== colluding providers (coalition {1, 3}, k = 2) ==\n");
+  const std::vector<NodeId> coalition = {1, 3};
+  struct Attack {
+    const char* what;
+    std::shared_ptr<adversary::DeviationStrategy> strategy;
+  };
+  const std::vector<Attack> attacks = {
+      {"forge output digest", adversary::forge_output_digest(coalition)},
+      {"corrupt coin reveal", adversary::corrupt_coin_reveal()},
+      {"equivocate consensus votes", adversary::equivocate_votes()},
+  };
+  for (const auto& attack : attacks) {
+    runtime::SimRunConfig base;
+    base.seed = 99;
+    const auto report = adversary::measure_deviation(auctioneer, market, base,
+                                                     coalition, attack.strategy);
+    std::printf("  %-28s honest-utility=%s  deviant-utility=%s  %s\n",
+                attack.what, report.honest_utility.str().c_str(),
+                report.deviant_utility.str().c_str(),
+                report.deviant_ok
+                    ? "NOT detected (!)"
+                    : ("detected -> outcome \xE2\x8A\xA5 (" +
+                       std::string(abort_reason_name(report.deviant_abort_reason)) +
+                       ")")
+                          .c_str());
+  }
+  std::printf("\nno deviation pays: detection zeroes the coalition's utility.\n");
+  return 0;
+}

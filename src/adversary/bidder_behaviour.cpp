@@ -1,0 +1,70 @@
+#include "adversary/bidder_behaviour.hpp"
+
+namespace dauct::adversary {
+
+namespace {
+
+class Honest final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId,
+                                      crypto::Rng&) const override {
+    return true_bid;
+  }
+};
+
+class Silent final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid&, NodeId,
+                                      crypto::Rng&) const override {
+    return std::nullopt;
+  }
+};
+
+class Equivocating final : public BidderBehaviour {
+ public:
+  explicit Equivocating(NodeId split) : split_(split) {}
+
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId provider,
+                                      crypto::Rng&) const override {
+    if (provider < split_) return true_bid;
+    auction::Bid forged = true_bid;
+    forged.unit_value = forged.unit_value + forged.unit_value;  // doubled
+    return forged;
+  }
+
+ private:
+  NodeId split_;
+};
+
+class Invalid final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId,
+                                      crypto::Rng&) const override {
+    auction::Bid bad = true_bid;
+    bad.unit_value = Money::from_micros(-1);  // negative value: never valid
+    return bad;
+  }
+};
+
+class Random final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId,
+                                      crypto::Rng& rng) const override {
+    auction::Bid b = true_bid;
+    b.unit_value = rng.next_money(kZeroMoney, Money::from_units(2));
+    b.demand = rng.next_money_positive(Money::from_units(1));
+    return b;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<BidderBehaviour> honest_bidder() { return std::make_shared<Honest>(); }
+std::shared_ptr<BidderBehaviour> silent_bidder() { return std::make_shared<Silent>(); }
+std::shared_ptr<BidderBehaviour> equivocating_bidder(NodeId split) {
+  return std::make_shared<Equivocating>(split);
+}
+std::shared_ptr<BidderBehaviour> invalid_bidder() { return std::make_shared<Invalid>(); }
+std::shared_ptr<BidderBehaviour> random_bidder() { return std::make_shared<Random>(); }
+
+}  // namespace dauct::adversary

@@ -1,0 +1,52 @@
+// Scriptable bidder behaviours (§3.2: "bidders may adopt arbitrary
+// behaviours such as submitting different bids to different providers or not
+// submitting a bid").
+//
+// A behaviour decides, per provider, what bid (if any) bidder i submits.
+// The runtimes use the behaviour when injecting the client traffic; the
+// framework must tolerate every behaviour here (Definition 1: the outcome
+// must still match A on a vector containing the correct bidders' bids).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "auction/types.hpp"
+#include "crypto/rng.hpp"
+
+namespace dauct::adversary {
+
+class BidderBehaviour {
+ public:
+  virtual ~BidderBehaviour() = default;
+
+  /// The bid sent to `provider`; std::nullopt = nothing arrives by the
+  /// deadline (the provider substitutes the neutral bid).
+  virtual std::optional<auction::Bid> bid_for(const auction::Bid& true_bid,
+                                              NodeId provider,
+                                              crypto::Rng& rng) const = 0;
+};
+
+/// Sends the true bid to every provider.
+std::shared_ptr<BidderBehaviour> honest_bidder();
+
+/// Sends nothing to anyone (deadline miss everywhere).
+std::shared_ptr<BidderBehaviour> silent_bidder();
+
+/// Sends the true bid to providers < `split`, and a perturbed bid (value
+/// doubled) to the rest — the canonical equivocation.
+std::shared_ptr<BidderBehaviour> equivocating_bidder(NodeId split);
+
+/// Sends an out-of-limits bid to every provider (invalid → neutral).
+std::shared_ptr<BidderBehaviour> invalid_bidder();
+
+/// Sends an independently random bid to every provider (the "malicious
+/// bidder with uniformly distributed bids" of §4.1's analysis).
+std::shared_ptr<BidderBehaviour> random_bidder();
+
+/// Per-bidder overrides; bidders not in the map behave honestly.
+using BidderScript = std::map<BidderId, std::shared_ptr<BidderBehaviour>>;
+
+}  // namespace dauct::adversary

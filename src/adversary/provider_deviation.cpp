@@ -1,0 +1,161 @@
+#include "adversary/provider_deviation.hpp"
+
+#include <algorithm>
+
+#include "serde/codec.hpp"
+
+namespace dauct::adversary {
+
+namespace {
+
+bool in(const std::vector<NodeId>& set, NodeId id) {
+  return std::find(set.begin(), set.end(), id) != set.end();
+}
+
+class Honest final : public DeviationStrategy {
+ public:
+  std::string name() const override { return "honest"; }
+  std::optional<Bytes> on_send(NodeId, NodeId, const std::string&,
+                               const Bytes& payload) override {
+    return payload;
+  }
+};
+
+class ForgeTaskResults final : public DeviationStrategy {
+ public:
+  explicit ForgeTaskResults(std::vector<NodeId> coalition)
+      : coalition_(std::move(coalition)) {}
+  std::string name() const override { return "forge-task-results"; }
+
+  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const Bytes& payload) override {
+    if (!blocks::topic_has_prefix(topic, "alloc/dt") || in(coalition_, to) ||
+        payload.empty()) {
+      return payload;
+    }
+    Bytes forged = payload;
+    forged.back() ^= 0x01;  // corrupt the encoded result
+    return forged;
+  }
+
+ private:
+  std::vector<NodeId> coalition_;
+};
+
+class CorruptCoinReveal final : public DeviationStrategy {
+ public:
+  std::string name() const override { return "corrupt-coin-reveal"; }
+
+  std::optional<Bytes> on_send(NodeId, NodeId, const std::string& topic,
+                               const Bytes& payload) override {
+    if (topic != "alloc/coin/reveal" || payload.empty()) return payload;
+    Bytes forged = payload;
+    forged[0] ^= 0xff;  // the revealed value no longer opens the commitment
+    return forged;
+  }
+};
+
+class EquivocateVotes final : public DeviationStrategy {
+ public:
+  std::string name() const override { return "equivocate-votes"; }
+
+  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const Bytes& payload) override {
+    // Vote topics end in "/v" for all three agreement modes.
+    if (payload.empty() || !blocks::topic_has_prefix(topic, "ba") ||
+        topic.size() < 2 || topic.compare(topic.size() - 2, 2, "/v") != 0) {
+      return payload;
+    }
+    if (to % 2 == 0) return payload;
+    Bytes forged = payload;
+    forged.back() ^= 0x01;  // different vote for odd-id providers
+    return forged;
+  }
+};
+
+class ForgeOutputDigest final : public DeviationStrategy {
+ public:
+  explicit ForgeOutputDigest(std::vector<NodeId> coalition)
+      : coalition_(std::move(coalition)) {}
+  std::string name() const override { return "forge-output-digest"; }
+
+  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const Bytes& payload) override {
+    if (topic != "alloc/out/digest" || in(coalition_, to) || payload.empty()) {
+      return payload;
+    }
+    Bytes forged = payload;
+    forged[0] ^= 0x01;
+    return forged;
+  }
+
+ private:
+  std::vector<NodeId> coalition_;
+};
+
+class SelectiveSilence final : public DeviationStrategy {
+ public:
+  explicit SelectiveSilence(std::vector<NodeId> coalition)
+      : coalition_(std::move(coalition)) {}
+  std::string name() const override { return "selective-silence"; }
+
+  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string&,
+                               const Bytes& payload) override {
+    if (in(coalition_, to)) return payload;
+    return std::nullopt;  // drop
+  }
+
+ private:
+  std::vector<NodeId> coalition_;
+};
+
+class MisreportAsk final : public DeviationStrategy {
+ public:
+  explicit MisreportAsk(dauct::Money fake_cost) : fake_cost_(fake_cost) {}
+  std::string name() const override { return "misreport-ask"; }
+
+  std::optional<Bytes> on_send(NodeId self, NodeId, const std::string& topic,
+                               const Bytes& payload) override {
+    if (topic != "ask/x") return payload;
+    // Payload layout: u32 provider + i64 unit_cost + i64 capacity.
+    serde::Reader r{BytesView(payload)};
+    const std::uint32_t provider = r.u32();
+    r.money();  // true cost, discarded
+    const dauct::Money capacity = r.money();
+    if (!r.at_end() || provider != self) return payload;
+    serde::Writer w;
+    w.u32(provider);
+    w.money(fake_cost_);
+    w.money(capacity);
+    return w.take();
+  }
+
+ private:
+  dauct::Money fake_cost_;
+};
+
+}  // namespace
+
+std::shared_ptr<DeviationStrategy> honest_provider() {
+  return std::make_shared<Honest>();
+}
+std::shared_ptr<DeviationStrategy> forge_task_results(std::vector<NodeId> coalition) {
+  return std::make_shared<ForgeTaskResults>(std::move(coalition));
+}
+std::shared_ptr<DeviationStrategy> corrupt_coin_reveal() {
+  return std::make_shared<CorruptCoinReveal>();
+}
+std::shared_ptr<DeviationStrategy> equivocate_votes() {
+  return std::make_shared<EquivocateVotes>();
+}
+std::shared_ptr<DeviationStrategy> forge_output_digest(std::vector<NodeId> coalition) {
+  return std::make_shared<ForgeOutputDigest>(std::move(coalition));
+}
+std::shared_ptr<DeviationStrategy> selective_silence(std::vector<NodeId> coalition) {
+  return std::make_shared<SelectiveSilence>(std::move(coalition));
+}
+std::shared_ptr<DeviationStrategy> misreport_ask(dauct::Money fake_cost) {
+  return std::make_shared<MisreportAsk>(fake_cost);
+}
+
+}  // namespace dauct::adversary

@@ -1,0 +1,49 @@
+#include "adversary/resilience_harness.hpp"
+
+namespace dauct::adversary {
+
+Money coalition_utility(const auction::AuctionInstance& instance,
+                        const auction::AuctionOutcome& outcome,
+                        const std::vector<NodeId>& coalition) {
+  Money total;
+  for (NodeId j : coalition) {
+    total += auction::provider_utility(instance, outcome, j);
+  }
+  return total;
+}
+
+DeviationReport measure_deviation(
+    const core::DistributedAuctioneer& auctioneer,
+    const auction::AuctionInstance& instance,
+    runtime::SimRunConfig base_config, const std::vector<NodeId>& coalition,
+    const std::shared_ptr<DeviationStrategy>& strategy) {
+  DeviationReport report;
+  report.strategy = strategy->name();
+  report.coalition = coalition;
+
+  // Honest control arm.
+  runtime::SimRunConfig honest_cfg = base_config;
+  honest_cfg.deviations.clear();
+  runtime::SimRuntime honest_rt(honest_cfg);
+  const auto honest = honest_rt.run_distributed(auctioneer, instance);
+  report.honest_ok = honest.global_outcome.ok();
+  report.honest_utility =
+      coalition_utility(instance, honest.global_outcome, coalition);
+
+  // Deviant arm: same seed and instance, coalition follows the strategy.
+  runtime::SimRunConfig deviant_cfg = base_config;
+  deviant_cfg.deviations.clear();
+  for (NodeId j : coalition) deviant_cfg.deviations[j] = strategy;
+  runtime::SimRuntime deviant_rt(deviant_cfg);
+  const auto deviant = deviant_rt.run_distributed(auctioneer, instance);
+  report.deviant_ok = deviant.global_outcome.ok();
+  if (!deviant.global_outcome.ok()) {
+    report.deviant_abort_reason = deviant.global_outcome.bottom().reason;
+  }
+  report.deviant_utility =
+      coalition_utility(instance, deviant.global_outcome, coalition);
+
+  return report;
+}
+
+}  // namespace dauct::adversary

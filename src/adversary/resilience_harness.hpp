@@ -1,0 +1,45 @@
+// Empirical k-resilience measurement (Definition 2).
+//
+// Runs the same auction twice — once with every provider honest, once with a
+// coalition K following a deviation strategy — and compares the coalition's
+// total utility. A protocol that is a k-resilient equilibrium must show no
+// utility gain for any strategy in the library (gains bounded by zero; with
+// the approximate welfare solver, by the approximation error).
+//
+// Utilities are computed against the providers' *true* valuations from the
+// instance, regardless of what the deviation made them report.
+#pragma once
+
+#include "core/distributed_auctioneer.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace dauct::adversary {
+
+struct DeviationReport {
+  std::string strategy;
+  std::vector<NodeId> coalition;
+
+  Money honest_utility;    ///< Σ over coalition, honest run
+  Money deviant_utility;   ///< Σ over coalition, deviant run
+  bool honest_ok = false;  ///< honest run reached (x, p)
+  bool deviant_ok = false; ///< deviant run reached (x, p) (false = ⊥)
+  AbortReason deviant_abort_reason = AbortReason::kNone;
+
+  /// True iff the deviation strictly increased the coalition's utility.
+  bool gained() const { return deviant_utility > honest_utility; }
+};
+
+/// Measure one (coalition, strategy) pair on one instance.
+/// `base_config` supplies seed/latency; its deviation map is overwritten.
+DeviationReport measure_deviation(
+    const core::DistributedAuctioneer& auctioneer,
+    const auction::AuctionInstance& instance,
+    runtime::SimRunConfig base_config, const std::vector<NodeId>& coalition,
+    const std::shared_ptr<DeviationStrategy>& strategy);
+
+/// Coalition utility of an outcome under the true instance.
+Money coalition_utility(const auction::AuctionInstance& instance,
+                        const auction::AuctionOutcome& outcome,
+                        const std::vector<NodeId>& coalition);
+
+}  // namespace dauct::adversary

@@ -1,0 +1,195 @@
+#include "auction/double_auction.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dauct::auction {
+
+namespace {
+
+struct BuyerStep {
+  BidderId bidder;
+  Money value;
+  Money demand;
+};
+
+struct SellerStep {
+  NodeId provider;
+  Money cost;
+  Money capacity;
+};
+
+}  // namespace
+
+AuctionResult run_double_auction(const AuctionInstance& instance) {
+  return run_double_auction(instance, nullptr);
+}
+
+AuctionResult run_double_auction(const AuctionInstance& instance,
+                                 DoubleAuctionInfo* info) {
+  AuctionResult result;
+  result.payments.user_payments.assign(instance.bids.size(), kZeroMoney);
+  result.payments.provider_revenues.assign(instance.asks.size(), kZeroMoney);
+  if (info) *info = DoubleAuctionInfo{};
+
+  // 1. Order the market. Ties broken by id: replicas must sort identically.
+  std::vector<BuyerStep> buyers;
+  for (const auto& b : instance.bids) {
+    if (!b.is_neutral() && b.demand > kZeroMoney) {
+      buyers.push_back({b.bidder, b.unit_value, b.demand});
+    }
+  }
+  std::sort(buyers.begin(), buyers.end(), [](const BuyerStep& a, const BuyerStep& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.bidder < b.bidder;
+  });
+
+  std::vector<SellerStep> sellers;
+  for (const auto& a : instance.asks) {
+    if (a.capacity > kZeroMoney) {
+      sellers.push_back({a.provider, a.unit_cost, a.capacity});
+    }
+  }
+  std::sort(sellers.begin(), sellers.end(), [](const SellerStep& a, const SellerStep& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.provider < b.provider;
+  });
+
+  if (buyers.empty() || sellers.empty()) return result;
+
+  // 2. Walk the aggregate curves to find the crossing. kb/ks are the current
+  // buyer/seller steps; rem_* track the unfilled part of the current step.
+  std::size_t kb = 0, ks = 0;
+  Money rem_demand = buyers[0].demand;
+  Money rem_capacity = sellers[0].capacity;
+  // Index *after* the last participating step on each side (0 = none traded).
+  std::size_t buyers_traded = 0, sellers_traded = 0;
+  while (kb < buyers.size() && ks < sellers.size()) {
+    if (buyers[kb].value < sellers[ks].cost) break;  // curves crossed
+    const Money q = min(rem_demand, rem_capacity);
+    if (q > kZeroMoney) {
+      buyers_traded = kb + 1;
+      sellers_traded = ks + 1;
+      rem_demand -= q;
+      rem_capacity -= q;
+    }
+    if (rem_demand.is_zero()) {
+      ++kb;
+      if (kb < buyers.size()) rem_demand = buyers[kb].demand;
+    }
+    if (rem_capacity.is_zero()) {
+      ++ks;
+      if (ks < sellers.size()) rem_capacity = sellers[ks].capacity;
+    }
+  }
+
+  // 3. Trade reduction: exclude the marginal steps (indices buyers_traded-1
+  // and sellers_traded-1). Their bid/ask set the uniform clearing prices. If
+  // either side had at most one participating step, no trade survives.
+  if (buyers_traded <= 1 || sellers_traded <= 1) return result;
+  const std::size_t K = buyers_traded - 1;  // marginal buyer, excluded
+  const std::size_t L = sellers_traded - 1;  // marginal seller, excluded
+  const Money buyer_price = buyers[K].value;
+  const Money seller_price = sellers[L].cost;
+
+  // 4. Water-fill surviving demand (buyers[0..K-1]) into surviving capacity
+  // (sellers[0..L-1]). The long side is rationed *proportionally*: every
+  // surviving buyer receives demand_i·Q'/D and every surviving seller sells
+  // capacity_j·Q'/C. Proportional shares are order-independent, so no
+  // participant can increase its fill by misreporting its price — order-based
+  // rationing would let a cut buyer overbid to move up the fill order and
+  // gain at the unchanged clearing price.
+  Money demand_total, capacity_total;
+  for (std::size_t bi = 0; bi < K; ++bi) demand_total += buyers[bi].demand;
+  for (std::size_t si = 0; si < L; ++si) capacity_total += sellers[si].capacity;
+  const Money traded_target = min(demand_total, capacity_total);
+  if (traded_target.is_zero()) return result;
+  const Money buyer_scale = traded_target.div(demand_total);    // ≤ 1
+  const Money seller_scale = traded_target.div(capacity_total); // ≤ 1
+
+  std::size_t sj = 0;
+  Money seller_left = sellers[0].capacity.mul(seller_scale);
+  Money traded_total;
+  for (std::size_t bi = 0; bi < K && sj < L; ++bi) {
+    Money want = buyers[bi].demand.mul(buyer_scale);
+    while (want > kZeroMoney && sj < L) {
+      const Money q = min(want, seller_left);
+      if (q > kZeroMoney) {
+        result.allocation.add(buyers[bi].bidder, sellers[sj].provider, q);
+        result.payments.user_payments[buyers[bi].bidder] += q.mul(buyer_price);
+        result.payments.provider_revenues[sellers[sj].provider] += q.mul(seller_price);
+        traded_total += q;
+        want -= q;
+        seller_left -= q;
+      }
+      if (seller_left.is_zero()) {
+        ++sj;
+        if (sj < L) seller_left = sellers[sj].capacity.mul(seller_scale);
+      }
+    }
+  }
+
+  if (info) {
+    info->traded = traded_total > kZeroMoney;
+    info->buyer_price = buyer_price;
+    info->seller_price = seller_price;
+    info->traded_quantity = traded_total;
+  }
+  return result;
+}
+
+AuctionResult run_optimal_waterfill(const AuctionInstance& instance) {
+  AuctionResult result;
+  result.payments.user_payments.assign(instance.bids.size(), kZeroMoney);
+  result.payments.provider_revenues.assign(instance.asks.size(), kZeroMoney);
+
+  std::vector<BuyerStep> buyers;
+  for (const auto& b : instance.bids) {
+    if (!b.is_neutral() && b.demand > kZeroMoney) {
+      buyers.push_back({b.bidder, b.unit_value, b.demand});
+    }
+  }
+  std::sort(buyers.begin(), buyers.end(), [](const BuyerStep& a, const BuyerStep& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.bidder < b.bidder;
+  });
+  std::vector<SellerStep> sellers;
+  for (const auto& a : instance.asks) {
+    if (a.capacity > kZeroMoney) sellers.push_back({a.provider, a.unit_cost, a.capacity});
+  }
+  std::sort(sellers.begin(), sellers.end(), [](const SellerStep& a, const SellerStep& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.provider < b.provider;
+  });
+
+  // Water-fill greedily while the marginal value clears the marginal cost:
+  // this maximizes Σ (v_i − c_j)·q over feasible trades (both curves are
+  // monotone), i.e. the double-auction social welfare.
+  std::size_t kb = 0, ks = 0;
+  Money rem_demand = buyers.empty() ? kZeroMoney : buyers[0].demand;
+  Money rem_capacity = sellers.empty() ? kZeroMoney : sellers[0].capacity;
+  while (kb < buyers.size() && ks < sellers.size()) {
+    if (buyers[kb].value < sellers[ks].cost) break;
+    const Money q = min(rem_demand, rem_capacity);
+    if (q > kZeroMoney) {
+      result.allocation.add(buyers[kb].bidder, sellers[ks].provider, q);
+      // Pay-as-bid / receive-as-ask: efficient but manipulable.
+      result.payments.user_payments[buyers[kb].bidder] += q.mul(buyers[kb].value);
+      result.payments.provider_revenues[sellers[ks].provider] +=
+          q.mul(sellers[ks].cost);
+      rem_demand -= q;
+      rem_capacity -= q;
+    }
+    if (rem_demand.is_zero()) {
+      ++kb;
+      if (kb < buyers.size()) rem_demand = buyers[kb].demand;
+    }
+    if (rem_capacity.is_zero()) {
+      ++ks;
+      if (ks < sellers.size()) rem_capacity = sellers[ks].capacity;
+    }
+  }
+  return result;
+}
+
+}  // namespace auction

@@ -1,0 +1,168 @@
+#include "auction/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dauct::auction {
+
+Bid neutral_bid(BidderId i) {
+  Bid b;
+  b.bidder = i;
+  b.unit_value = kZeroMoney;
+  b.demand = kZeroMoney;
+  return b;
+}
+
+void Allocation::add(BidderId bidder, NodeId provider, Money amount) {
+  if (amount.is_zero()) return;
+  const auto key = [](const AllocationEntry& e) { return std::pair(e.bidder, e.provider); };
+  AllocationEntry entry{bidder, provider, amount};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), entry,
+                             [&](const AllocationEntry& a, const AllocationEntry& b) {
+                               return key(a) < key(b);
+                             });
+  if (it != entries_.end() && it->bidder == bidder && it->provider == provider) {
+    it->amount += amount;
+    if (it->amount.is_zero()) entries_.erase(it);
+  } else {
+    entries_.insert(it, entry);
+  }
+}
+
+Money Allocation::allocated_to(BidderId bidder) const {
+  Money total;
+  for (const auto& e : entries_) {
+    if (e.bidder == bidder) total += e.amount;
+  }
+  return total;
+}
+
+Money Allocation::allocated_at(NodeId provider) const {
+  Money total;
+  for (const auto& e : entries_) {
+    if (e.provider == provider) total += e.amount;
+  }
+  return total;
+}
+
+Money Allocation::amount(BidderId bidder, NodeId provider) const {
+  for (const auto& e : entries_) {
+    if (e.bidder == bidder && e.provider == provider) return e.amount;
+  }
+  return kZeroMoney;
+}
+
+Money Allocation::total() const {
+  Money total;
+  for (const auto& e : entries_) total += e.amount;
+  return total;
+}
+
+bool Allocation::is_canonical() const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].amount <= kZeroMoney) return false;
+    if (i > 0) {
+      const auto prev = std::pair(entries_[i - 1].bidder, entries_[i - 1].provider);
+      const auto cur = std::pair(entries_[i].bidder, entries_[i].provider);
+      if (!(prev < cur)) return false;
+    }
+  }
+  return true;
+}
+
+Money Payments::total_paid() const {
+  Money total;
+  for (Money p : user_payments) total += p;
+  return total;
+}
+
+Money Payments::total_received() const {
+  Money total;
+  for (Money p : provider_revenues) total += p;
+  return total;
+}
+
+bool is_feasible(const AuctionInstance& instance, const Allocation& x) {
+  for (const auto& e : x.entries()) {
+    if (e.amount.is_negative()) return false;
+    if (e.bidder >= instance.bids.size()) return false;
+    if (e.provider >= instance.asks.size()) return false;
+  }
+  for (const auto& bid : instance.bids) {
+    if (x.allocated_to(bid.bidder) > bid.demand) return false;
+  }
+  for (const auto& ask : instance.asks) {
+    if (x.allocated_at(ask.provider) > ask.capacity) return false;
+  }
+  return true;
+}
+
+Money double_auction_welfare(const AuctionInstance& instance, const Allocation& x) {
+  Money welfare;
+  for (const auto& e : x.entries()) {
+    welfare += e.amount.mul(instance.bids[e.bidder].unit_value);
+    welfare -= e.amount.mul(instance.asks[e.provider].unit_cost);
+  }
+  return welfare;
+}
+
+Money standard_auction_welfare(const AuctionInstance& instance, const Allocation& x) {
+  Money welfare;
+  for (const auto& e : x.entries()) {
+    welfare += e.amount.mul(instance.bids[e.bidder].unit_value);
+  }
+  return welfare;
+}
+
+Money user_utility(const AuctionInstance& instance, const AuctionOutcome& outcome,
+                   BidderId i) {
+  if (outcome.is_bottom()) return kZeroMoney;
+  const auto& result = outcome.value();
+  Money value = result.allocation.allocated_to(i).mul(instance.bids[i].unit_value);
+  Money paid = i < result.payments.user_payments.size()
+                   ? result.payments.user_payments[i]
+                   : kZeroMoney;
+  return value - paid;
+}
+
+Money provider_utility(const AuctionInstance& instance, const AuctionOutcome& outcome,
+                       NodeId j) {
+  if (outcome.is_bottom()) return kZeroMoney;
+  const auto& result = outcome.value();
+  Money revenue = j < result.payments.provider_revenues.size()
+                      ? result.payments.provider_revenues[j]
+                      : kZeroMoney;
+  Money cost = result.allocation.allocated_at(j).mul(instance.asks[j].unit_cost);
+  return revenue - cost;
+}
+
+std::string to_string(const Allocation& x) {
+  std::ostringstream os;
+  os << "allocation{";
+  bool first = true;
+  for (const auto& e : x.entries()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "u" << e.bidder << "@p" << e.provider << "=" << e.amount.str();
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_string(const Payments& p) {
+  std::ostringstream os;
+  os << "payments{users:[";
+  for (std::size_t i = 0; i < p.user_payments.size(); ++i) {
+    if (i) os << ", ";
+    os << p.user_payments[i].str();
+  }
+  os << "], providers:[";
+  for (std::size_t j = 0; j < p.provider_revenues.size(); ++j) {
+    if (j) os << ", ";
+    os << p.provider_revenues[j].str();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dauct::auction

@@ -1,0 +1,156 @@
+// Auction model types: bids, asks, allocations, payments, results.
+//
+// The paper's family of resource-allocation auctions (§3.1): m providers sell
+// a divisible resource (bandwidth) with limited capacity; n users bid a unit
+// valuation and a demand. A *standard* auction has only user bids; a *double*
+// auction also has provider asks. The auctioneer outputs a feasible
+// allocation x and a payment vector p, or the special value ⊥.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/money.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct::auction {
+
+/// A user's bid: willingness to pay `unit_value` per unit of resource, for up
+/// to `demand` units. The *neutral bid* (demand == 0) excludes the bidder
+/// from the auction; providers substitute it for missing/invalid bids (§3.2).
+struct Bid {
+  BidderId bidder = 0;
+  Money unit_value;  ///< price the user pays per allocated unit
+  Money demand;      ///< amount of resource requested
+
+  bool is_neutral() const { return demand.is_zero(); }
+  bool operator==(const Bid&) const = default;
+};
+
+/// The neutral bid for bidder `i` (excluded from the auction).
+Bid neutral_bid(BidderId i);
+
+/// A provider's ask (double auction): unit cost and sellable capacity.
+struct Ask {
+  NodeId provider = 0;
+  Money unit_cost;  ///< minimum acceptable payment per unit sold
+  Money capacity;   ///< units available at this provider
+
+  bool operator==(const Ask&) const = default;
+};
+
+/// Bounds on acceptable bids; anything outside is *invalid* and replaced by
+/// the neutral bid during bid agreement.
+struct BidLimits {
+  Money max_unit_value = Money::from_units(1'000'000);
+  Money max_demand = Money::from_units(1'000'000);
+
+  bool valid(const Bid& b) const {
+    return !b.unit_value.is_negative() && !b.demand.is_negative() &&
+           b.unit_value <= max_unit_value && b.demand <= max_demand;
+  }
+};
+
+/// Amount of resource allocated to one bidder at one provider.
+struct AllocationEntry {
+  BidderId bidder = 0;
+  NodeId provider = 0;
+  Money amount;
+
+  bool operator==(const AllocationEntry&) const = default;
+};
+
+/// A (sparse) allocation x. Entries are kept sorted by (bidder, provider) so
+/// that equal allocations have identical serializations (replicas
+/// cross-validate by hash).
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// Add `amount` for (bidder, provider); merges with an existing entry.
+  void add(BidderId bidder, NodeId provider, Money amount);
+
+  const std::vector<AllocationEntry>& entries() const { return entries_; }
+
+  /// Total allocated to `bidder` across providers.
+  Money allocated_to(BidderId bidder) const;
+
+  /// Total allocated at `provider` across bidders.
+  Money allocated_at(NodeId provider) const;
+
+  /// Amount for a specific (bidder, provider) pair.
+  Money amount(BidderId bidder, NodeId provider) const;
+
+  /// Sum of all allocated amounts.
+  Money total() const;
+
+  bool empty() const { return entries_.empty(); }
+  bool operator==(const Allocation&) const = default;
+
+  /// Canonical ordering invariant check (sorted, positive amounts, no dups).
+  bool is_canonical() const;
+
+ private:
+  std::vector<AllocationEntry> entries_;  // sorted by (bidder, provider)
+};
+
+/// Payment vector p: what each user pays and each provider receives.
+/// Indexed by BidderId / NodeId (dense; absent ids pay/receive zero).
+struct Payments {
+  std::vector<Money> user_payments;      ///< [n] paid by each user
+  std::vector<Money> provider_revenues;  ///< [m] received by each provider
+
+  Money total_paid() const;
+  Money total_received() const;
+  /// Budget balance: users' payments cover providers' revenues.
+  bool budget_balanced() const { return total_paid() >= total_received(); }
+
+  bool operator==(const Payments&) const = default;
+};
+
+/// The auctioneer's output (x, p).
+struct AuctionResult {
+  Allocation allocation;
+  Payments payments;
+
+  bool operator==(const AuctionResult&) const = default;
+};
+
+/// Outcome of a simulation: (x, p) or ⊥.
+using AuctionOutcome = Outcome<AuctionResult>;
+
+/// A complete auction instance: the inputs the algorithm A runs on.
+struct AuctionInstance {
+  std::vector<Bid> bids;  ///< one per bidder, index == BidderId
+  std::vector<Ask> asks;  ///< one per provider, index == NodeId
+
+  std::size_t num_users() const { return bids.size(); }
+  std::size_t num_providers() const { return asks.size(); }
+};
+
+/// Feasibility (§3.1): no provider's capacity is exceeded, every user gets at
+/// most its demand, and amounts are non-negative.
+bool is_feasible(const AuctionInstance& instance, const Allocation& x);
+
+/// Social welfare of a double auction: Σ_i v_i·alloc_i − Σ_j c_j·alloc_j.
+Money double_auction_welfare(const AuctionInstance& instance, const Allocation& x);
+
+/// Social welfare of a standard auction: Σ_i v_i·alloc_i (users only).
+Money standard_auction_welfare(const AuctionInstance& instance, const Allocation& x);
+
+/// Utility of user `i` (§3.3): value of allocation minus payment, 0 on ⊥.
+Money user_utility(const AuctionInstance& instance, const AuctionOutcome& outcome,
+                   BidderId i);
+
+/// Utility of provider `j`: revenue minus value of sold resource, 0 on ⊥.
+Money provider_utility(const AuctionInstance& instance, const AuctionOutcome& outcome,
+                       NodeId j);
+
+/// Pretty-printers for reports/examples.
+std::string to_string(const Allocation& x);
+std::string to_string(const Payments& p);
+
+}  // namespace dauct::auction

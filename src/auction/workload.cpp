@@ -1,0 +1,50 @@
+#include "auction/workload.hpp"
+
+namespace dauct::auction {
+
+WorkloadParams double_auction_workload(std::size_t users, std::size_t providers) {
+  WorkloadParams p;
+  p.num_users = users;
+  p.num_providers = providers;
+  p.capacity_factor_lo = Money::from_double(0.5);
+  p.capacity_factor_hi = Money::from_double(1.5);
+  return p;
+}
+
+WorkloadParams standard_auction_workload(std::size_t users, std::size_t providers) {
+  WorkloadParams p;
+  p.num_users = users;
+  p.num_providers = providers;
+  p.capacity_factor_lo = kZeroMoney;
+  p.capacity_factor_hi = Money::from_double(0.25);
+  return p;
+}
+
+AuctionInstance generate(const WorkloadParams& params, crypto::Rng& rng) {
+  AuctionInstance instance;
+  instance.bids.reserve(params.num_users);
+  Money total_demand;
+  for (std::size_t i = 0; i < params.num_users; ++i) {
+    Bid b;
+    b.bidder = static_cast<BidderId>(i);
+    b.unit_value = rng.next_money(params.bid_lo, params.bid_hi);
+    b.demand = rng.next_money_positive(params.demand_hi);
+    total_demand += b.demand;
+    instance.bids.push_back(b);
+  }
+
+  const Money base_capacity =
+      total_demand.div(Money::from_units(static_cast<std::int64_t>(params.num_providers)));
+  instance.asks.reserve(params.num_providers);
+  for (std::size_t j = 0; j < params.num_providers; ++j) {
+    Ask a;
+    a.provider = static_cast<NodeId>(j);
+    a.unit_cost = rng.next_money_positive(params.cost_hi);
+    const Money factor = rng.next_money(params.capacity_factor_lo, params.capacity_factor_hi);
+    a.capacity = base_capacity.mul(factor);
+    instance.asks.push_back(a);
+  }
+  return instance;
+}
+
+}  // namespace dauct::auction

@@ -1,0 +1,45 @@
+// Workload generation matching the paper's evaluation setup (§6.2–6.3).
+//
+// "the bids by the users are uniformly distributed in the range [0.75, 1.25],
+//  and the requested bandwidth resource is uniformly distributed in (0, 1].
+//  We vary the capacity of the providers depending upon the overall bandwidth
+//  required, and scale it using a random factor in [0.5, 1.5] ... The
+//  providers have a unit cost of bandwidth uniformly distributed in (0, 1]."
+// For the standard auction, capacities are scaled by a factor in [0, 0.25]
+// "so roughly no more than a quarter of the users win the bids."
+#pragma once
+
+#include <cstdint>
+
+#include "auction/types.hpp"
+#include "crypto/rng.hpp"
+
+namespace dauct::auction {
+
+/// Parameters of the synthetic workload (defaults = the paper's values).
+struct WorkloadParams {
+  std::size_t num_users = 100;
+  std::size_t num_providers = 8;
+
+  Money bid_lo = Money::from_double(0.75);   ///< user unit value, lower bound
+  Money bid_hi = Money::from_double(1.25);   ///< user unit value, upper bound
+  Money demand_hi = Money::from_units(1);    ///< demand ~ U(0, demand_hi]
+  Money cost_hi = Money::from_units(1);      ///< provider cost ~ U(0, cost_hi]
+
+  /// Per-provider capacity = (total demand / m) scaled by a factor drawn
+  /// uniformly from [capacity_factor_lo, capacity_factor_hi].
+  Money capacity_factor_lo = Money::from_double(0.5);
+  Money capacity_factor_hi = Money::from_double(1.5);
+};
+
+/// The paper's double-auction workload (§6.2): capacity factor U[0.5, 1.5].
+WorkloadParams double_auction_workload(std::size_t users, std::size_t providers);
+
+/// The paper's standard-auction workload (§6.3): capacity factor U[0, 0.25],
+/// so roughly a quarter of users can win.
+WorkloadParams standard_auction_workload(std::size_t users, std::size_t providers);
+
+/// Draw a complete auction instance from `params` using `rng`.
+AuctionInstance generate(const WorkloadParams& params, crypto::Rng& rng);
+
+}  // namespace dauct::auction

@@ -1,0 +1,38 @@
+#include "blocks/block.hpp"
+
+namespace dauct::blocks {
+
+void Endpoint::broadcast(const std::string& topic, const Bytes& payload) {
+  const std::size_t m = num_providers();
+  for (NodeId j = 0; j < m; ++j) {
+    send(j, topic, payload);
+  }
+}
+
+std::string topic_join(std::string_view prefix, std::string_view leaf) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + leaf.size());
+  out.append(prefix);
+  out.push_back('/');
+  out.append(leaf);
+  return out;
+}
+
+bool topic_has_prefix(std::string_view topic, std::string_view prefix) {
+  if (topic.size() < prefix.size()) return false;
+  if (topic.substr(0, prefix.size()) != prefix) return false;
+  return topic.size() == prefix.size() || topic[prefix.size()] == '/';
+}
+
+RoundCollector::RoundCollector(std::size_t num_providers)
+    : payloads_(num_providers), seen_(num_providers, false) {}
+
+bool RoundCollector::add(NodeId from, Bytes payload) {
+  if (from >= seen_.size() || seen_[from]) return false;
+  seen_[from] = true;
+  payloads_[from] = std::move(payload);
+  ++received_;
+  return true;
+}
+
+}  // namespace dauct::blocks

@@ -1,0 +1,76 @@
+// Shared machinery for protocol blocks.
+//
+// Blocks (bid agreement, input validation, common coin, data transfer,
+// output agreement) are *sans-I/O state machines*: they are driven by
+// start() and handle(msg), send through an Endpoint, and expose their result
+// by polling. They know nothing about transports or runtimes, which makes
+// them unit-testable deterministically and reusable across the virtual-time,
+// threaded, and TCP runtimes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/outcome.hpp"
+#include "crypto/rng.hpp"
+#include "net/message.hpp"
+
+namespace dauct::blocks {
+
+/// The side-effect interface a block uses to talk to the world.
+/// Implemented by each runtime.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// This provider's id (0..m-1).
+  virtual NodeId self() const = 0;
+
+  /// Number of providers m.
+  virtual std::size_t num_providers() const = 0;
+
+  /// Send `payload` on `topic` to provider `to`.
+  virtual void send(NodeId to, const std::string& topic, Bytes payload) = 0;
+
+  /// Node-local randomness (commitment values and nonces). NOT shared
+  /// randomness — that is what the common coin produces.
+  virtual crypto::Rng& rng() = 0;
+
+  /// Send to all m providers, *including self* (self-delivery keeps round
+  /// bookkeeping uniform: every round collects exactly m messages).
+  void broadcast(const std::string& topic, const Bytes& payload);
+};
+
+/// Join topic components: topic_join("ba", "vote") == "ba/vote".
+std::string topic_join(std::string_view prefix, std::string_view leaf);
+
+/// True if `topic` equals `prefix` or starts with `prefix` + '/'.
+bool topic_has_prefix(std::string_view topic, std::string_view prefix);
+
+/// Collects exactly one payload per provider for one protocol round.
+class RoundCollector {
+ public:
+  explicit RoundCollector(std::size_t num_providers);
+
+  /// Record a payload from `from`. Returns false on duplicate or
+  /// out-of-range sender (a protocol violation the caller turns into ⊥).
+  bool add(NodeId from, Bytes payload);
+
+  bool complete() const { return received_ == payloads_.size(); }
+  std::size_t received() const { return received_; }
+
+  /// Payloads indexed by NodeId; valid once complete().
+  const std::vector<Bytes>& payloads() const { return payloads_; }
+
+  bool has(NodeId from) const { return from < seen_.size() && seen_[from]; }
+
+ private:
+  std::vector<Bytes> payloads_;
+  std::vector<bool> seen_;
+  std::size_t received_ = 0;
+};
+
+}  // namespace dauct::blocks

@@ -1,0 +1,146 @@
+#include "blocks/common_coin.hpp"
+
+#include <cmath>
+
+#include "crypto/hmac.hpp"
+#include "serde/codec.hpp"
+
+namespace dauct::blocks {
+
+DistributionSpec DistributionSpec::uniform01() {
+  DistributionSpec s;
+  s.kind = Kind::kUniform01;
+  return s;
+}
+
+DistributionSpec DistributionSpec::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DistributionSpec s;
+  s.kind = Kind::kUniformInt;
+  s.lo = lo;
+  s.hi = hi;
+  return s;
+}
+
+DistributionSpec DistributionSpec::exponential(double lambda) {
+  DistributionSpec s;
+  s.kind = Kind::kExponential;
+  s.lambda = lambda;
+  return s;
+}
+
+CommonCoin::CommonCoin(Endpoint& endpoint, std::string topic_prefix)
+    : endpoint_(endpoint),
+      commit_topic_(topic_join(topic_prefix, "commit")),
+      reveal_topic_(topic_join(topic_prefix, "reveal")),
+      tag_(crypto::derive_tag({"dauct/common-coin", topic_prefix})),
+      commits_(endpoint.num_providers()),
+      reveals_(endpoint.num_providers()) {}
+
+void CommonCoin::start(const DistributionSpec& spec) {
+  spec_ = spec;
+  const std::uint64_t share = endpoint_.rng().next_u64();
+  auto [commitment, opening] = crypto::commit(tag_, share, endpoint_.rng());
+  my_opening_ = opening;
+  endpoint_.broadcast(commit_topic_,
+                      Bytes(commitment.digest.begin(), commitment.digest.end()));
+}
+
+void CommonCoin::abort(AbortReason reason, std::string detail) {
+  if (!result_) result_ = Outcome<CoinValue>(Bottom{reason, std::move(detail)});
+}
+
+bool CommonCoin::handle(const net::Message& msg) {
+  if (msg.topic == commit_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != 32) {
+      abort(AbortReason::kProtocolViolation, "malformed commitment");
+      return true;
+    }
+    if (!commits_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate commitment");
+      return true;
+    }
+    maybe_reveal();
+    maybe_decide();
+    return true;
+  }
+  if (msg.topic == reveal_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != 8 + 32) {
+      abort(AbortReason::kInvalidCommitment, "malformed reveal");
+      return true;
+    }
+    if (!reveals_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate reveal");
+      return true;
+    }
+    maybe_decide();
+    return true;
+  }
+  return false;
+}
+
+void CommonCoin::maybe_reveal() {
+  // Reveal only after holding *all* commitments: nobody learns any share
+  // before everyone is bound.
+  if (revealed_ || !commits_.complete()) return;
+  revealed_ = true;
+  serde::Writer w;
+  w.u64(my_opening_.value);
+  w.raw(BytesView(my_opening_.nonce.data(), my_opening_.nonce.size()));
+  endpoint_.broadcast(reveal_topic_, w.take());
+}
+
+void CommonCoin::maybe_decide() {
+  if (result_ || !commits_.complete() || !reveals_.complete()) return;
+
+  std::uint64_t sum = 0;
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    serde::Reader r(BytesView(reveals_.payloads()[j]));
+    crypto::Opening opening;
+    opening.value = r.u64();
+    const Bytes nonce = r.raw(32);
+    std::copy(nonce.begin(), nonce.end(), opening.nonce.begin());
+    if (!r.at_end()) {
+      abort(AbortReason::kInvalidCommitment, "truncated reveal");
+      return;
+    }
+    crypto::Commitment commitment;
+    std::copy(commits_.payloads()[j].begin(), commits_.payloads()[j].end(),
+              commitment.digest.begin());
+    if (!crypto::verify(tag_, commitment, opening)) {
+      abort(AbortReason::kInvalidCommitment,
+            "reveal does not open commitment of provider " + std::to_string(j));
+      return;
+    }
+    sum += opening.value;  // mod 2^64: uniform if any share is uniform
+  }
+
+  CoinValue value;
+  value.raw = sum;
+  const double u = static_cast<double>(sum >> 11) * 0x1.0p-53;  // [0,1)
+  switch (spec_.kind) {
+    case DistributionSpec::Kind::kSeed64:
+      value.real = u;
+      value.integer = static_cast<std::int64_t>(sum);
+      break;
+    case DistributionSpec::Kind::kUniform01:
+      value.real = u;
+      break;
+    case DistributionSpec::Kind::kUniformInt: {
+      const auto span =
+          static_cast<std::uint64_t>(spec_.hi - spec_.lo) + 1;  // hi >= lo
+      value.integer = spec_.lo + static_cast<std::int64_t>(sum % span);
+      value.real = static_cast<double>(value.integer);
+      break;
+    }
+    case DistributionSpec::Kind::kExponential: {
+      const double clamped = u >= 1.0 ? 0.9999999999999999 : u;
+      value.real = -std::log1p(-clamped) / spec_.lambda;
+      break;
+    }
+  }
+  result_ = Outcome<CoinValue>(value);
+}
+
+}  // namespace dauct::blocks

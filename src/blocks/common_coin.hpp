@@ -1,0 +1,75 @@
+// Common Coin block (paper §4.2, Property 4; scheme of Abraham–Dolev–Halpern).
+//
+// Every provider commits to a random 64-bit share before learning anyone
+// else's, then reveals; the coin value is the sum of all shares mod 2^64 —
+// uniform as long as at least one provider picked uniformly. A provider that
+// reveals a value incompatible with its commitment (or sends garbage) makes
+// every correct provider output ⊥.
+//
+// The output is distributed according to an input distribution Π: the raw
+// uniform u64 is pushed through Π's transform. In the allocator framework,
+// Π = Seed64 (the shared PRNG seed for the replicated randomized algorithm).
+//
+// A rushing coalition member that dislikes the revealed outcome can withhold
+// its reveal, but this only yields ⊥ (utility 0) — it can never *bias* the
+// value. That is exactly the "k-resiliency for solution preference"
+// guarantee Property 4 asks for.
+#pragma once
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+#include "crypto/commitment.hpp"
+
+namespace dauct::blocks {
+
+/// The distribution Π the coin output must follow.
+struct DistributionSpec {
+  enum class Kind { kSeed64, kUniform01, kUniformInt, kExponential };
+  Kind kind = Kind::kSeed64;
+  std::int64_t lo = 0, hi = 0;  ///< kUniformInt: inclusive range
+  double lambda = 1.0;          ///< kExponential: rate
+
+  static DistributionSpec seed64() { return {}; }
+  static DistributionSpec uniform01();
+  static DistributionSpec uniform_int(std::int64_t lo, std::int64_t hi);
+  static DistributionSpec exponential(double lambda);
+};
+
+/// The coin outcome: the raw uniform word plus the Π-transformed views.
+struct CoinValue {
+  std::uint64_t raw = 0;   ///< uniform u64 (use as PRNG seed)
+  double real = 0.0;       ///< Π-transformed real value
+  std::int64_t integer = 0;  ///< Π-transformed integer (kUniformInt)
+};
+
+class CommonCoin {
+ public:
+  CommonCoin(Endpoint& endpoint, std::string topic_prefix);
+
+  /// Begin a coin flip with distribution `spec`.
+  void start(const DistributionSpec& spec);
+
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  const std::optional<Outcome<CoinValue>>& result() const { return result_; }
+
+ private:
+  void maybe_reveal();
+  void maybe_decide();
+  void abort(AbortReason reason, std::string detail);
+
+  Endpoint& endpoint_;
+  std::string commit_topic_;
+  std::string reveal_topic_;
+  crypto::Digest tag_{};
+
+  DistributionSpec spec_;
+  crypto::Opening my_opening_{};
+  RoundCollector commits_;
+  RoundCollector reveals_;
+  bool revealed_ = false;
+  std::optional<Outcome<CoinValue>> result_;
+};
+
+}  // namespace dauct::blocks

@@ -1,0 +1,75 @@
+#include "blocks/data_transfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dauct::blocks {
+
+DataTransfer::DataTransfer(Endpoint& endpoint, std::string topic_prefix,
+                           std::vector<NodeId> sources, std::vector<NodeId> receivers)
+    : endpoint_(endpoint),
+      topic_(topic_join(topic_prefix, "val")),
+      sources_(std::move(sources)) {
+  assert(std::is_sorted(sources_.begin(), sources_.end()));
+  is_source_ = std::binary_search(sources_.begin(), sources_.end(), endpoint_.self());
+  is_receiver_ =
+      std::binary_search(receivers.begin(), receivers.end(), endpoint_.self());
+  received_.resize(sources_.size());
+  seen_.assign(sources_.size(), false);
+}
+
+void DataTransfer::start(std::optional<Bytes> my_value) {
+  assert(my_value.has_value() == is_source_);
+  if (is_source_) {
+    // Broadcast to the whole provider set: receivers consume, everyone else
+    // ignores (topics are instance-scoped). Sending only to `receivers`
+    // would also be correct; broadcasting keeps wire bookkeeping uniform
+    // and lets sources cross-check each other when they are receivers too.
+    endpoint_.broadcast(topic_, *my_value);
+  }
+  if (!is_receiver_) {
+    // Pure sources / bystanders are done once start() ran.
+    result_ = Outcome<Bytes>(Bytes{});
+  }
+}
+
+bool DataTransfer::handle(const net::Message& msg) {
+  if (msg.topic != topic_) return false;
+  if (result_) return true;
+
+  const auto it = std::lower_bound(sources_.begin(), sources_.end(), msg.from);
+  if (it == sources_.end() || *it != msg.from) {
+    // Value from a non-source: a protocol violation.
+    result_ = Outcome<Bytes>(
+        Bottom{AbortReason::kProtocolViolation,
+               "data-transfer value from non-source " + std::to_string(msg.from)});
+    return true;
+  }
+  const auto rank = static_cast<std::size_t>(it - sources_.begin());
+  if (seen_[rank]) {
+    result_ = Outcome<Bytes>(
+        Bottom{AbortReason::kProtocolViolation, "duplicate data-transfer value"});
+    return true;
+  }
+  seen_[rank] = true;
+  received_[rank] = msg.payload;
+  ++num_received_;
+  maybe_decide();
+  return true;
+}
+
+void DataTransfer::maybe_decide() {
+  if (result_ || num_received_ < sources_.size()) return;
+  for (std::size_t r = 1; r < received_.size(); ++r) {
+    if (received_[r] != received_[0]) {
+      result_ = Outcome<Bytes>(
+          Bottom{AbortReason::kTransferMismatch,
+                 "sources " + std::to_string(sources_[0]) + " and " +
+                     std::to_string(sources_[r]) + " disagree"});
+      return;
+    }
+  }
+  result_ = Outcome<Bytes>(received_[0]);
+}
+
+}  // namespace dauct::blocks

@@ -1,0 +1,55 @@
+// Data Transfer block (paper §4.2, Property 5).
+//
+// A source set S of providers (the executors of a task, |S| ≥ k+1) each
+// broadcast their copy of the task result to the receiver set O. A receiver
+// that sees two different values outputs ⊥; otherwise it outputs the common
+// value. With |S| > k, a coalition cannot forge a value accepted by honest
+// receivers: at least one honest source broadcasts the true value, so a
+// forgery produces a detectable mismatch.
+//
+// A node may be in S, in O, in both, or in neither (then it completes
+// immediately with no value — kNotParticipating).
+#pragma once
+
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct::blocks {
+
+class DataTransfer {
+ public:
+  /// `sources` and `receivers` are sorted provider-id sets.
+  DataTransfer(Endpoint& endpoint, std::string topic_prefix,
+               std::vector<NodeId> sources, std::vector<NodeId> receivers);
+
+  /// `my_value` must be set iff this provider is a source.
+  void start(std::optional<Bytes> my_value);
+
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  /// For receivers: the transferred value or ⊥. For pure sources /
+  /// non-participants: an empty value (success) once their duty is done.
+  const std::optional<Outcome<Bytes>>& result() const { return result_; }
+
+  bool is_source() const { return is_source_; }
+  bool is_receiver() const { return is_receiver_; }
+
+ private:
+  void maybe_decide();
+
+  Endpoint& endpoint_;
+  std::string topic_;
+  std::vector<NodeId> sources_;
+  bool is_source_ = false;
+  bool is_receiver_ = false;
+
+  std::vector<Bytes> received_;      // by source rank
+  std::vector<bool> seen_;           // by source rank
+  std::size_t num_received_ = 0;
+  std::optional<Outcome<Bytes>> result_;
+};
+
+}  // namespace dauct::blocks

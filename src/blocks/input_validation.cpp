@@ -1,0 +1,46 @@
+#include "blocks/input_validation.hpp"
+
+namespace dauct::blocks {
+
+InputValidation::InputValidation(Endpoint& endpoint, std::string topic_prefix)
+    : endpoint_(endpoint),
+      topic_(topic_join(topic_prefix, "digest")),
+      digests_(endpoint.num_providers()) {}
+
+void InputValidation::start(Bytes input) {
+  input_ = std::move(input);
+  my_digest_ = crypto::sha256(BytesView(input_));
+  started_ = true;
+  endpoint_.broadcast(topic_, crypto::digest_bytes(my_digest_));
+  maybe_decide();
+}
+
+bool InputValidation::handle(const net::Message& msg) {
+  if (msg.topic != topic_) return false;
+  if (result_) return true;
+  if (msg.payload.size() != 32) {
+    result_ = Outcome<Bytes>(Bottom{AbortReason::kProtocolViolation, "malformed digest"});
+    return true;
+  }
+  if (!digests_.add(msg.from, msg.payload)) {
+    result_ = Outcome<Bytes>(Bottom{AbortReason::kProtocolViolation, "duplicate digest"});
+    return true;
+  }
+  maybe_decide();
+  return true;
+}
+
+void InputValidation::maybe_decide() {
+  if (result_ || !started_ || !digests_.complete()) return;
+  const Bytes mine = crypto::digest_bytes(my_digest_);
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    if (digests_.payloads()[j] != mine) {
+      result_ = Outcome<Bytes>(Bottom{AbortReason::kInputMismatch,
+                                      "input digest differs at provider " + std::to_string(j)});
+      return;
+    }
+  }
+  result_ = Outcome<Bytes>(input_);
+}
+
+}  // namespace dauct::blocks

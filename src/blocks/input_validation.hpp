@@ -1,0 +1,46 @@
+// Input Validation block (paper §4.2, Property 3).
+//
+// Each provider broadcasts a digest of its allocator input; if any two
+// digests differ, every correct provider outputs ⊥. This is the paper's
+// "simple implementation ... providers broadcasting their vectors of bids
+// and outputting ⊥ when two different vectors are detected" — we broadcast
+// the SHA-256 digest instead of the full vector (same detection power,
+// constant message size).
+//
+// Property 3: (1) two honest providers with different inputs both output ⊥;
+// (2) all honest with the same input b⃗ output b⃗; (3) k-resiliency for
+// solution preference given equal inputs.
+#pragma once
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dauct::blocks {
+
+class InputValidation {
+ public:
+  InputValidation(Endpoint& endpoint, std::string topic_prefix);
+
+  /// Begin validation of `input` (the serialized allocator input).
+  void start(Bytes input);
+
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  /// On success, the outcome carries the (locally kept) validated input.
+  const std::optional<Outcome<Bytes>>& result() const { return result_; }
+
+ private:
+  void maybe_decide();
+
+  Endpoint& endpoint_;
+  std::string topic_;
+  RoundCollector digests_;
+  Bytes input_;
+  crypto::Digest my_digest_{};
+  bool started_ = false;
+  std::optional<Outcome<Bytes>> result_;
+};
+
+}  // namespace dauct::blocks

@@ -1,0 +1,48 @@
+#include "blocks/output_agreement.hpp"
+
+namespace dauct::blocks {
+
+OutputAgreement::OutputAgreement(Endpoint& endpoint, std::string topic_prefix)
+    : endpoint_(endpoint),
+      topic_(topic_join(topic_prefix, "digest")),
+      digests_(endpoint.num_providers()) {}
+
+void OutputAgreement::start(Bytes my_result) {
+  my_result_ = std::move(my_result);
+  started_ = true;
+  endpoint_.broadcast(topic_, crypto::digest_bytes(crypto::sha256(BytesView(my_result_))));
+  maybe_decide();
+}
+
+bool OutputAgreement::handle(const net::Message& msg) {
+  if (msg.topic != topic_) return false;
+  if (result_) return true;
+  if (msg.payload.size() != 32) {
+    result_ = Outcome<Bytes>(
+        Bottom{AbortReason::kProtocolViolation, "malformed output digest"});
+    return true;
+  }
+  if (!digests_.add(msg.from, msg.payload)) {
+    result_ = Outcome<Bytes>(
+        Bottom{AbortReason::kProtocolViolation, "duplicate output digest"});
+    return true;
+  }
+  maybe_decide();
+  return true;
+}
+
+void OutputAgreement::maybe_decide() {
+  if (result_ || !started_ || !digests_.complete()) return;
+  const Bytes mine = crypto::digest_bytes(crypto::sha256(BytesView(my_result_)));
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    if (digests_.payloads()[j] != mine) {
+      result_ = Outcome<Bytes>(
+          Bottom{AbortReason::kOutputMismatch,
+                 "output digest differs at provider " + std::to_string(j)});
+      return;
+    }
+  }
+  result_ = Outcome<Bytes>(my_result_);
+}
+
+}  // namespace dauct::blocks

@@ -1,0 +1,42 @@
+// Output Agreement: the final cross-validation of the simulation.
+//
+// The outcome of a simulation is (x, p) only "if all providers output this
+// pair" (§3.2) — so before emitting, every provider broadcasts the digest of
+// its final result and verifies everyone computed the same bytes. Any
+// mismatch collapses the outcome to ⊥ at every correct provider. This is
+// the last task's data-transfer step specialized to S = O = all providers,
+// with digests instead of full results (every provider already holds its own
+// copy).
+#pragma once
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dauct::blocks {
+
+class OutputAgreement {
+ public:
+  OutputAgreement(Endpoint& endpoint, std::string topic_prefix);
+
+  /// Begin agreement on this provider's result bytes.
+  void start(Bytes my_result);
+
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  /// On success: the agreed result bytes (== the local ones).
+  const std::optional<Outcome<Bytes>>& result() const { return result_; }
+
+ private:
+  void maybe_decide();
+
+  Endpoint& endpoint_;
+  std::string topic_;
+  RoundCollector digests_;
+  Bytes my_result_;
+  bool started_ = false;
+  std::optional<Outcome<Bytes>> result_;
+};
+
+}  // namespace dauct::blocks

@@ -1,0 +1,40 @@
+// Byte-buffer utilities: the wire currency of every protocol block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dauct {
+
+/// A dynamically sized byte buffer. All serialized protocol payloads are
+/// carried as Bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Hex-encode `data` (lowercase, two chars per byte).
+std::string to_hex(BytesView data);
+
+/// Decode a hex string. Throws std::invalid_argument on malformed input
+/// (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// Bytes of a std::string_view (no copy of semantics beyond the buffer).
+Bytes to_bytes(std::string_view s);
+
+/// Interpret bytes as a std::string.
+std::string to_string(BytesView data);
+
+/// Constant-time equality; avoids leaking match length through timing when
+/// comparing secrets (commitment openings).
+bool ct_equal(BytesView a, BytesView b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace dauct

@@ -1,0 +1,27 @@
+// Strongly-typed identifiers used throughout the distributed auctioneer.
+//
+// NodeId identifies a provider (a protocol participant). BidderId identifies a
+// user submitting bids. TaskId identifies a node of the allocator task graph.
+// All are small integers; strong typedefs prevent accidental mixing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dauct {
+
+/// Identifier of a provider node participating in the auctioneer simulation.
+/// Providers are numbered 0..m-1; the identifier order is known to everyone
+/// (the paper assumes unique identifiers known to every provider).
+using NodeId = std::uint32_t;
+
+/// Identifier of a bidder (user). Bidders are numbered 0..n-1.
+using BidderId = std::uint32_t;
+
+/// Identifier of a task in the parallel-allocator task graph.
+using TaskId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+}  // namespace dauct

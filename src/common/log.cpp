@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace dauct {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& line) {
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "[dauct %s] %s\n", level_name(level), line.c_str());
+  }
+}
+}  // namespace detail
+
+}  // namespace dauct

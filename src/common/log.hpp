@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through this sink so that tests can silence or capture
+// output. Not thread-safe by design for the deterministic runtime; the
+// threaded runtime serializes through a mutex in the sink.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dauct {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Default: kWarn so
+/// library users and tests are quiet unless they opt in.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Replace the sink (e.g. to capture logs in tests). The sink receives the
+/// fully formatted line without trailing newline. Pass nullptr to restore the
+/// default stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& line);
+}
+
+}  // namespace dauct
+
+#define DAUCT_LOG(level, expr)                                        \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::dauct::log_level())) { \
+      std::ostringstream dauct_log_os_;                               \
+      dauct_log_os_ << expr;                                          \
+      ::dauct::detail::emit(level, dauct_log_os_.str());              \
+    }                                                                 \
+  } while (0)
+
+#define DAUCT_DEBUG(expr) DAUCT_LOG(::dauct::LogLevel::kDebug, expr)
+#define DAUCT_INFO(expr) DAUCT_LOG(::dauct::LogLevel::kInfo, expr)
+#define DAUCT_WARN(expr) DAUCT_LOG(::dauct::LogLevel::kWarn, expr)
+#define DAUCT_ERROR(expr) DAUCT_LOG(::dauct::LogLevel::kError, expr)

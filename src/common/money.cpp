@@ -1,0 +1,40 @@
+#include "common/money.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dauct {
+
+Money Money::from_double(double value) {
+  return from_micros(static_cast<std::int64_t>(std::llround(value * kScale)));
+}
+
+Money Money::mul(Money unit_price) const {
+  const __int128 prod =
+      static_cast<__int128>(micros_) * static_cast<__int128>(unit_price.micros_);
+  return from_micros(static_cast<std::int64_t>(prod / kScale));
+}
+
+Money Money::div(Money divisor) const {
+  assert(divisor.micros_ != 0 && "Money::div by zero");
+  const __int128 num = static_cast<__int128>(micros_) * kScale;
+  return from_micros(static_cast<std::int64_t>(num / divisor.micros_));
+}
+
+std::string Money::str() const {
+  const std::int64_t m = micros_;
+  const std::int64_t whole = m / kScale;
+  std::int64_t frac = m % kScale;
+  if (frac < 0) frac = -frac;
+  char buf[40];
+  if (m < 0 && whole == 0) {
+    std::snprintf(buf, sizeof(buf), "-0.%06lld", static_cast<long long>(frac));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld.%06lld", static_cast<long long>(whole),
+                  static_cast<long long>(frac));
+  }
+  return buf;
+}
+
+}  // namespace dauct

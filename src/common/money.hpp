@@ -1,0 +1,86 @@
+// Fixed-point money / valuation type.
+//
+// All currency amounts, unit valuations, bandwidth demands and capacities are
+// represented in fixed point (micro-units in a signed 64-bit integer). The
+// distributed auctioneer replicates the allocation algorithm on every provider
+// and cross-validates results byte-for-byte; floating point would make the
+// replicas diverge (different FPU rounding across platforms / optimization
+// levels) and turn honest executions into false ⊥ aborts. Fixed point makes
+// replicated computation bit-identical.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dauct {
+
+/// Fixed-point quantity with 6 decimal places (micro-units).
+///
+/// Used for both currency (bids, payments) and divisible resource amounts
+/// (bandwidth demands and capacities). Arithmetic is exact on integers;
+/// multiplication/division of two quantities use 128-bit intermediates and
+/// truncate toward zero, deterministically on all platforms.
+class Money {
+ public:
+  static constexpr std::int64_t kScale = 1'000'000;  ///< micro-units per unit
+
+  constexpr Money() = default;
+
+  /// From raw micro-units.
+  static constexpr Money from_micros(std::int64_t micros) {
+    Money q;
+    q.micros_ = micros;
+    return q;
+  }
+
+  /// From whole units.
+  static constexpr Money from_units(std::int64_t units) {
+    return from_micros(units * kScale);
+  }
+
+  /// From a double (rounded to nearest micro-unit). Intended for workload
+  /// generation and human input only; protocol code stays in fixed point.
+  static Money from_double(double value);
+
+  constexpr std::int64_t micros() const { return micros_; }
+  double to_double() const { return static_cast<double>(micros_) / kScale; }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+  constexpr bool is_negative() const { return micros_ < 0; }
+
+  /// Product of a quantity and a unit price: (this units) * (price per unit).
+  /// Exact via 128-bit intermediate, truncated toward zero.
+  Money mul(Money unit_price) const;
+
+  /// Ratio of two quantities as fixed point, truncated toward zero.
+  /// Dividing by zero is a programming error (asserted).
+  Money div(Money divisor) const;
+
+  constexpr Money operator+(Money o) const { return from_micros(micros_ + o.micros_); }
+  constexpr Money operator-(Money o) const { return from_micros(micros_ - o.micros_); }
+  constexpr Money operator-() const { return from_micros(-micros_); }
+  Money& operator+=(Money o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  Money& operator-=(Money o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Money&) const = default;
+
+  /// Render as a decimal string, e.g. "1.250000".
+  std::string str() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+inline constexpr Money kZeroMoney = Money{};
+
+/// Smaller / larger of two quantities.
+constexpr Money min(Money a, Money b) { return a < b ? a : b; }
+constexpr Money max(Money a, Money b) { return a < b ? b : a; }
+
+}  // namespace dauct

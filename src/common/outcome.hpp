@@ -1,0 +1,77 @@
+// Outcome<T>: a protocol-block result that is either a value or ⊥ (Bottom).
+//
+// The paper's blocks output "a valid value or the special value ⊥" which
+// signals abortion of the whole auctioneer simulation. Bottom carries a reason
+// for diagnostics; reasons never influence protocol decisions (correct
+// providers treat every ⊥ identically).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dauct {
+
+/// Why a protocol block aborted. Diagnostic only.
+enum class AbortReason {
+  kNone,
+  kEquivocationDetected,   ///< conflicting copies of the same broadcast
+  kInvalidCommitment,      ///< reveal does not match commitment / out of range
+  kInputMismatch,          ///< providers ran with different input vectors
+  kTransferMismatch,       ///< data-transfer sources disagreed
+  kOutputMismatch,         ///< providers produced different final results
+  kConsensusFailure,       ///< a rational-consensus instance returned ⊥
+  kProtocolViolation,      ///< malformed message / impossible transition
+  kTimeout,                ///< runtime gave up waiting (test harness only)
+  kCascaded,               ///< an earlier block aborted
+};
+
+/// Human-readable reason name (for logs and test failure messages).
+constexpr const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kEquivocationDetected: return "equivocation-detected";
+    case AbortReason::kInvalidCommitment: return "invalid-commitment";
+    case AbortReason::kInputMismatch: return "input-mismatch";
+    case AbortReason::kTransferMismatch: return "transfer-mismatch";
+    case AbortReason::kOutputMismatch: return "output-mismatch";
+    case AbortReason::kConsensusFailure: return "consensus-failure";
+    case AbortReason::kProtocolViolation: return "protocol-violation";
+    case AbortReason::kTimeout: return "timeout";
+    case AbortReason::kCascaded: return "cascaded";
+  }
+  return "unknown";
+}
+
+/// ⊥: the abort outcome of a block or of the whole simulation.
+struct Bottom {
+  AbortReason reason = AbortReason::kNone;
+  std::string detail;  ///< free-form diagnostic (who/what diverged)
+};
+
+/// Either a value of type T or ⊥.
+template <typename T>
+class Outcome {
+ public:
+  Outcome(T value) : v_(std::move(value)) {}                // NOLINT implicit
+  Outcome(Bottom bottom) : v_(std::move(bottom)) {}         // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  bool is_bottom() const { return !ok(); }
+
+  const T& value() const { return std::get<T>(v_); }
+  T& value() { return std::get<T>(v_); }
+  const Bottom& bottom() const { return std::get<Bottom>(v_); }
+
+  /// The value if ok, otherwise std::nullopt.
+  std::optional<T> opt() const {
+    if (ok()) return value();
+    return std::nullopt;
+  }
+
+ private:
+  std::variant<T, Bottom> v_;
+};
+
+}  // namespace dauct

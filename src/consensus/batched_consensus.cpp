@@ -1,0 +1,140 @@
+#include "consensus/batched_consensus.hpp"
+
+#include <map>
+
+#include "crypto/sha256.hpp"
+#include "serde/codec.hpp"
+
+namespace dauct::consensus {
+
+using blocks::topic_join;
+
+namespace {
+
+Bytes encode_slots(const std::vector<Bytes>& slots) {
+  serde::Writer w;
+  w.varint(slots.size());
+  for (const Bytes& s : slots) w.bytes(s);
+  return w.take();
+}
+
+std::optional<std::vector<Bytes>> decode_slots(BytesView data, std::size_t expected) {
+  serde::Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n != expected) return std::nullopt;
+  std::vector<Bytes> out;
+  out.reserve(expected);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.bytes());
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+BatchedConsensus::BatchedConsensus(blocks::Endpoint& endpoint, std::string topic_prefix,
+                                   std::size_t num_slots)
+    : endpoint_(endpoint),
+      vote_topic_(topic_join(topic_prefix, "v")),
+      echo_topic_(topic_join(topic_prefix, "e")),
+      num_slots_(num_slots),
+      votes_(endpoint.num_providers()),
+      echoes_(endpoint.num_providers()) {}
+
+void BatchedConsensus::start(const std::vector<Bytes>& input) {
+  std::vector<Bytes> slots = input;
+  slots.resize(num_slots_);
+  endpoint_.broadcast(vote_topic_, encode_slots(slots));
+}
+
+void BatchedConsensus::abort(AbortReason reason, std::string detail) {
+  if (!result_) result_ = Outcome<std::vector<Bytes>>(Bottom{reason, std::move(detail)});
+}
+
+bool BatchedConsensus::handle(const net::Message& msg) {
+  if (msg.topic == vote_topic_) {
+    if (result_) return true;
+    if (!decode_slots(msg.payload, num_slots_)) {
+      abort(AbortReason::kProtocolViolation, "malformed batched vote");
+      return true;
+    }
+    if (!votes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate batched vote");
+      return true;
+    }
+    maybe_echo();
+    maybe_decide();
+    return true;
+  }
+  if (msg.topic == echo_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != 32 * endpoint_.num_providers()) {
+      abort(AbortReason::kProtocolViolation, "malformed batched echo");
+      return true;
+    }
+    if (!echoes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate batched echo");
+      return true;
+    }
+    maybe_decide();
+    return true;
+  }
+  return false;
+}
+
+void BatchedConsensus::maybe_echo() {
+  if (echoed_ || !votes_.complete()) return;
+  echoed_ = true;
+  // Echo = digest of every provider's raw vote payload, in id order.
+  Bytes echo;
+  echo.reserve(32 * endpoint_.num_providers());
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    const crypto::Digest d = crypto::sha256(BytesView(votes_.payloads()[j]));
+    append(echo, BytesView(d.data(), d.size()));
+  }
+  endpoint_.broadcast(echo_topic_, echo);
+}
+
+void BatchedConsensus::maybe_decide() {
+  if (result_ || !echoes_.complete() || !votes_.complete()) return;
+
+  const Bytes& reference = echoes_.payloads()[0];
+  for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
+    if (echoes_.payloads()[j] != reference) {
+      abort(AbortReason::kEquivocationDetected,
+            "batched echo mismatch at provider " + std::to_string(j));
+      return;
+    }
+  }
+
+  // All received identical vote sets. Decide per slot by strict majority of
+  // exact values; fallback = empty bytes (neutral) when no majority.
+  const std::size_t m = endpoint_.num_providers();
+  std::vector<std::vector<Bytes>> votes_by_sender;
+  votes_by_sender.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    auto slots = decode_slots(votes_.payloads()[j], num_slots_);
+    if (!slots) {
+      abort(AbortReason::kProtocolViolation, "undecodable agreed vote");
+      return;
+    }
+    votes_by_sender.push_back(std::move(*slots));
+  }
+
+  std::vector<Bytes> decided(num_slots_);
+  for (std::size_t s = 0; s < num_slots_; ++s) {
+    std::map<Bytes, std::size_t> counts;
+    for (std::size_t j = 0; j < m; ++j) {
+      ++counts[votes_by_sender[j][s]];
+    }
+    for (const auto& [value, count] : counts) {
+      if (count * 2 > m) {
+        decided[s] = value;
+        break;
+      }
+    }
+    // No strict majority → decided[s] stays empty (neutral fallback).
+  }
+  result_ = Outcome<std::vector<Bytes>>(std::move(decided));
+}
+
+}  // namespace dauct::consensus

@@ -1,0 +1,49 @@
+// Value-level rational consensus over a vector of opaque slots.
+//
+// The production-efficient bid agreement mode: instead of per-bit instances,
+// each provider votes its whole slot vector (one message), and the echo round
+// carries a SHA-256 digest per sender's vote — constant-size echoes
+// regardless of slot count. Decision per slot: the majority *exact value*
+// among the m agreed votes, or a fallback (empty bytes → neutral bid at the
+// bid-agreement layer) when no strict majority exists.
+//
+// Same guarantees as the bitwise construction under m > 2k: unanimous honest
+// slots win the majority; vote equivocation makes honest digests diverge → ⊥.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct::consensus {
+
+class BatchedConsensus {
+ public:
+  BatchedConsensus(blocks::Endpoint& endpoint, std::string topic_prefix,
+                   std::size_t num_slots);
+
+  /// `input[s]` is this provider's value for slot s.
+  void start(const std::vector<Bytes>& input);
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  const std::optional<Outcome<std::vector<Bytes>>>& result() const { return result_; }
+
+ private:
+  void maybe_echo();
+  void maybe_decide();
+  void abort(AbortReason reason, std::string detail);
+
+  blocks::Endpoint& endpoint_;
+  std::string vote_topic_;
+  std::string echo_topic_;
+  std::size_t num_slots_;
+
+  blocks::RoundCollector votes_;
+  blocks::RoundCollector echoes_;
+  bool echoed_ = false;
+  std::optional<Outcome<std::vector<Bytes>>> result_;
+};
+
+}  // namespace dauct::consensus

@@ -1,0 +1,91 @@
+#include "consensus/bit_consensus.hpp"
+
+namespace dauct::consensus {
+
+using blocks::topic_join;
+
+BitConsensus::BitConsensus(blocks::Endpoint& endpoint, std::string topic_prefix)
+    : endpoint_(endpoint),
+      vote_topic_(topic_join(topic_prefix, "v")),
+      echo_topic_(topic_join(topic_prefix, "e")),
+      votes_(endpoint.num_providers()),
+      echoes_(endpoint.num_providers()) {}
+
+void BitConsensus::start(bool input) {
+  endpoint_.broadcast(vote_topic_, Bytes{static_cast<std::uint8_t>(input ? 1 : 0)});
+}
+
+void BitConsensus::abort(AbortReason reason, std::string detail) {
+  if (!result_) result_ = Outcome<bool>(Bottom{reason, std::move(detail)});
+}
+
+bool BitConsensus::handle(const net::Message& msg) {
+  if (msg.topic == vote_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != 1 || msg.payload[0] > 1) {
+      abort(AbortReason::kProtocolViolation, "malformed vote");
+      return true;
+    }
+    if (!votes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate vote");
+      return true;
+    }
+    maybe_echo();
+    maybe_decide();
+    return true;
+  }
+  if (msg.topic == echo_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != endpoint_.num_providers()) {
+      abort(AbortReason::kProtocolViolation, "malformed echo");
+      return true;
+    }
+    if (!echoes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate echo");
+      return true;
+    }
+    maybe_decide();
+    return true;
+  }
+  return false;
+}
+
+void BitConsensus::maybe_echo() {
+  if (echoed_ || !votes_.complete()) return;
+  echoed_ = true;
+  Bytes vector(endpoint_.num_providers());
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    vector[j] = votes_.payloads()[j][0];
+  }
+  endpoint_.broadcast(echo_topic_, vector);
+}
+
+void BitConsensus::maybe_decide() {
+  if (result_ || !echoes_.complete() || !echoed_) return;
+
+  // Cross-validate: every echo must report the identical vote vector.
+  const Bytes& reference = echoes_.payloads()[0];
+  for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
+    if (echoes_.payloads()[j] != reference) {
+      abort(AbortReason::kEquivocationDetected,
+            "echo mismatch at provider " + std::to_string(j));
+      return;
+    }
+  }
+
+  // Majority of the agreed vote vector; ties go to provider 0's bit.
+  std::size_t ones = 0;
+  for (std::uint8_t b : reference) ones += b;
+  const std::size_t m = reference.size();
+  bool decision;
+  if (ones * 2 > m) {
+    decision = true;
+  } else if (ones * 2 < m) {
+    decision = false;
+  } else {
+    decision = reference[0] != 0;
+  }
+  result_ = Outcome<bool>(decision);
+}
+
+}  // namespace dauct::consensus

@@ -1,0 +1,59 @@
+// Rational consensus on a single bit (Afek et al., PODC'14 building block).
+//
+// The bid agreement feeds each bit of the serialized bids into one instance
+// of rational consensus. The protocol implemented here is the cross-
+// validation variant sufficient for the two properties the paper imports
+// (§4.1, Property 1 discussion):
+//
+//   round 1 (vote): every provider broadcasts its input bit;
+//   round 2 (echo): upon holding all m votes, every provider broadcasts the
+//                   full vote vector it received;
+//   decide:         upon holding all m echoes — if any two echoes disagree on
+//                   any sender's vote, output ⊥ (equivocation detected);
+//                   otherwise output the majority bit of the agreed vote
+//                   vector (ties broken by the lowest-id provider's bit).
+//
+// Guarantees under m > 2k:
+//  (a) honest execution → all providers output the same bit, which was input
+//      by some provider (validity/agreement);
+//  (b) a coalition of ≤ k providers cannot flip the decision when all
+//      non-coalition inputs agree (the m−k honest votes are a majority), and
+//      any vote equivocation is detected by echo comparison → ⊥, which the
+//      coalition dis-prefers (solution preference).
+#pragma once
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct::consensus {
+
+class BitConsensus {
+ public:
+  /// `topic_prefix` namespaces this instance's messages.
+  BitConsensus(blocks::Endpoint& endpoint, std::string topic_prefix);
+
+  /// Begin: broadcast the vote for `input`.
+  void start(bool input);
+
+  /// Feed a message; returns true if it belonged to this instance.
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  const std::optional<Outcome<bool>>& result() const { return result_; }
+
+ private:
+  void maybe_echo();
+  void maybe_decide();
+  void abort(AbortReason reason, std::string detail);
+
+  blocks::Endpoint& endpoint_;
+  std::string vote_topic_;
+  std::string echo_topic_;
+
+  blocks::RoundCollector votes_;
+  blocks::RoundCollector echoes_;
+  bool echoed_ = false;
+  std::optional<Outcome<bool>> result_;
+};
+
+}  // namespace dauct::consensus

@@ -1,0 +1,107 @@
+#include "consensus/stream_consensus.hpp"
+
+#include "serde/bitstream.hpp"
+
+namespace dauct::consensus {
+
+using blocks::topic_join;
+
+StreamConsensus::StreamConsensus(blocks::Endpoint& endpoint, std::string topic_prefix,
+                                 std::size_t num_bits)
+    : endpoint_(endpoint),
+      vote_topic_(topic_join(topic_prefix, "v")),
+      echo_topic_(topic_join(topic_prefix, "e")),
+      num_bits_(num_bits),
+      packed_len_((num_bits + 7) / 8),
+      votes_(endpoint.num_providers()),
+      echoes_(endpoint.num_providers()) {}
+
+void StreamConsensus::start(const std::vector<bool>& input) {
+  std::vector<bool> bits = input;
+  bits.resize(num_bits_, false);
+  endpoint_.broadcast(vote_topic_, serde::from_bits(bits));
+}
+
+void StreamConsensus::abort(AbortReason reason, std::string detail) {
+  if (!result_) result_ = Outcome<std::vector<bool>>(Bottom{reason, std::move(detail)});
+}
+
+bool StreamConsensus::handle(const net::Message& msg) {
+  if (msg.topic == vote_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != packed_len_) {
+      abort(AbortReason::kProtocolViolation, "malformed stream vote");
+      return true;
+    }
+    if (!votes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate stream vote");
+      return true;
+    }
+    maybe_echo();
+    maybe_decide();
+    return true;
+  }
+  if (msg.topic == echo_topic_) {
+    if (result_) return true;
+    if (msg.payload.size() != packed_len_ * endpoint_.num_providers()) {
+      abort(AbortReason::kProtocolViolation, "malformed stream echo");
+      return true;
+    }
+    if (!echoes_.add(msg.from, msg.payload)) {
+      abort(AbortReason::kProtocolViolation, "duplicate stream echo");
+      return true;
+    }
+    maybe_decide();
+    return true;
+  }
+  return false;
+}
+
+void StreamConsensus::maybe_echo() {
+  if (echoed_ || !votes_.complete()) return;
+  echoed_ = true;
+  // Echo = concatenation of every provider's packed vote, in id order.
+  Bytes echo;
+  echo.reserve(packed_len_ * endpoint_.num_providers());
+  for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
+    append(echo, votes_.payloads()[j]);
+  }
+  endpoint_.broadcast(echo_topic_, echo);
+}
+
+void StreamConsensus::maybe_decide() {
+  if (result_ || !echoes_.complete()) return;
+
+  const Bytes& reference = echoes_.payloads()[0];
+  for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
+    if (echoes_.payloads()[j] != reference) {
+      abort(AbortReason::kEquivocationDetected,
+            "stream echo mismatch at provider " + std::to_string(j));
+      return;
+    }
+  }
+
+  // Per-bit majority over the agreed vote matrix (row j = provider j's vote).
+  const std::size_t m = endpoint_.num_providers();
+  std::vector<bool> decided(num_bits_);
+  for (std::size_t b = 0; b < num_bits_; ++b) {
+    const std::size_t byte = b / 8;
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (7 - b % 8));
+    std::size_t ones = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (reference[j * packed_len_ + byte] & mask) ++ones;
+    }
+    bool bit;
+    if (ones * 2 > m) {
+      bit = true;
+    } else if (ones * 2 < m) {
+      bit = false;
+    } else {
+      bit = (reference[byte] & mask) != 0;  // tie: provider 0's bit
+    }
+    decided[b] = bit;
+  }
+  result_ = Outcome<std::vector<bool>>(std::move(decided));
+}
+
+}  // namespace dauct::consensus

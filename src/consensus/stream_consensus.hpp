@@ -1,0 +1,50 @@
+// Rational consensus over a bit *stream*, physically batched.
+//
+// Semantically this is L parallel instances of BitConsensus — exactly the
+// paper's construction ("generates a stream of bits … and inputs each bit to
+// a rational consensus instance"). Physically, the L votes of one provider
+// travel in a single message (and likewise the L echo vectors), because the
+// per-instance messages would otherwise dominate the experiment; the
+// decision rule is still applied independently per bit position.
+//
+// If any position detects echo inconsistency, the whole stream outputs ⊥
+// (the paper: "if some instance outputs ⊥, then j outputs ⊥").
+#pragma once
+
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct::consensus {
+
+class StreamConsensus {
+ public:
+  /// Agrees on a stream of `num_bits` bits.
+  StreamConsensus(blocks::Endpoint& endpoint, std::string topic_prefix,
+                  std::size_t num_bits);
+
+  void start(const std::vector<bool>& input);
+  bool handle(const net::Message& msg);
+
+  bool done() const { return result_.has_value(); }
+  const std::optional<Outcome<std::vector<bool>>>& result() const { return result_; }
+
+ private:
+  void maybe_echo();
+  void maybe_decide();
+  void abort(AbortReason reason, std::string detail);
+
+  blocks::Endpoint& endpoint_;
+  std::string vote_topic_;
+  std::string echo_topic_;
+  std::size_t num_bits_;
+  std::size_t packed_len_;
+
+  blocks::RoundCollector votes_;
+  blocks::RoundCollector echoes_;
+  bool echoed_ = false;
+  std::optional<Outcome<std::vector<bool>>> result_;
+};
+
+}  // namespace dauct::consensus

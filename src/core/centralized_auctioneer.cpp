@@ -1,0 +1,18 @@
+#include "core/centralized_auctioneer.hpp"
+
+#include <cassert>
+
+namespace dauct::core {
+
+CentralizedAuctioneer::CentralizedAuctioneer(
+    std::shared_ptr<const AuctionAdapter> adapter)
+    : adapter_(std::move(adapter)) {
+  assert(adapter_ != nullptr);
+}
+
+auction::AuctionResult CentralizedAuctioneer::run(
+    const auction::AuctionInstance& instance, std::uint64_t seed) const {
+  return adapter_->run_centralized(instance, seed);
+}
+
+}  // namespace dauct::core

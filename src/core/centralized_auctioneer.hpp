@@ -1,0 +1,30 @@
+// Centralized (trusted) auctioneer — the baseline the paper compares against.
+//
+// Runs the allocation algorithm A directly on the collected bids, as the
+// single trusted entity the paper argues does not exist in fully
+// decentralized systems. Used (a) as the reference implementation the
+// distributed simulation must match bit-for-bit given the same seed, and
+// (b) as the "Centralised" series of Figs. 4–5.
+#pragma once
+
+#include <memory>
+
+#include "core/adapters.hpp"
+
+namespace dauct::core {
+
+class CentralizedAuctioneer {
+ public:
+  explicit CentralizedAuctioneer(std::shared_ptr<const AuctionAdapter> adapter);
+
+  /// Run A on `instance` with shared randomness `seed`.
+  auction::AuctionResult run(const auction::AuctionInstance& instance,
+                             std::uint64_t seed) const;
+
+  const AuctionAdapter& adapter() const { return *adapter_; }
+
+ private:
+  std::shared_ptr<const AuctionAdapter> adapter_;
+};
+
+}  // namespace dauct::core

@@ -1,0 +1,93 @@
+#include "core/task_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dauct::core {
+
+void TaskGraph::add_task(TaskSpec spec) {
+  assert(spec.id == tasks_.size() && "tasks must be added in id order");
+  tasks_.push_back(std::move(spec));
+}
+
+bool TaskGraph::needs_transfer(TaskId id) const {
+  const auto& rec = recipients_.at(id);
+  const auto& exec = tasks_.at(id).executors;
+  // Both sorted: transfer needed iff some recipient is not an executor.
+  return !std::includes(exec.begin(), exec.end(), rec.begin(), rec.end());
+}
+
+std::optional<std::string> TaskGraph::validate(std::size_t m, std::size_t k) {
+  if (tasks_.empty()) return "empty task graph";
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskSpec& t = tasks_[i];
+    if (t.id != i) return "non-dense task ids";
+    if (!t.compute) return "task '" + t.name + "' has no compute function";
+    if (t.executors.empty()) return "task '" + t.name + "' has no executors";
+    if (!std::is_sorted(t.executors.begin(), t.executors.end())) {
+      return "task '" + t.name + "' executors not sorted";
+    }
+    if (std::adjacent_find(t.executors.begin(), t.executors.end()) !=
+        t.executors.end()) {
+      return "task '" + t.name + "' has duplicate executors";
+    }
+    if (t.executors.back() >= m) return "task '" + t.name + "' executor out of range";
+    if (t.executors.size() < k + 1) {
+      return "task '" + t.name + "' has fewer than k+1 executors";
+    }
+    for (TaskId d : t.deps) {
+      if (d >= t.id) return "task '" + t.name + "' depends on a later task (cycle)";
+    }
+  }
+
+  // Recipients: union of executors of dependents.
+  recipients_.assign(tasks_.size(), {});
+  std::vector<bool> has_dependent(tasks_.size(), false);
+  for (const TaskSpec& t : tasks_) {
+    for (TaskId d : t.deps) {
+      has_dependent[d] = true;
+      auto& rec = recipients_[d];
+      rec.insert(rec.end(), t.executors.begin(), t.executors.end());
+    }
+  }
+  for (auto& rec : recipients_) {
+    std::sort(rec.begin(), rec.end());
+    rec.erase(std::unique(rec.begin(), rec.end()), rec.end());
+  }
+
+  // Exactly one sink, executed by all providers.
+  std::size_t sinks = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!has_dependent[i]) {
+      ++sinks;
+      sink_ = static_cast<TaskId>(i);
+    }
+  }
+  if (sinks != 1) return "task graph must have exactly one sink";
+  if (tasks_[sink_].executors.size() != m) {
+    return "the sink task must be executed by all providers";
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<NodeId>> assign_groups(std::size_t m,
+                                               [[maybe_unused]] std::size_t k,
+                                               std::size_t c) {
+  assert(c >= 1 && c <= max_parallelism(m, k));
+  std::vector<std::vector<NodeId>> groups(c);
+  const std::size_t base = m / c;
+  const std::size_t extra = m % c;
+  NodeId next = 0;
+  for (std::size_t g = 0; g < c; ++g) {
+    const std::size_t size = base + (g < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) groups[g].push_back(next++);
+  }
+  assert(next == m);
+  for ([[maybe_unused]] const auto& g : groups) assert(g.size() >= k + 1);
+  return groups;
+}
+
+std::size_t max_parallelism(std::size_t m, std::size_t k) { return m / (k + 1); }
+
+}  // namespace dauct::core

@@ -1,0 +1,95 @@
+// Task-graph decomposition of the allocation algorithm A (paper §4.2, Fig. 2).
+//
+// "it is useful to characterise the execution of A in terms of a graph of
+//  tasks, where nodes correspond to tasks to be executed in sequence and
+//  edges represent data dependencies … every two tasks that are not ordered
+//  can be executed in parallel by different providers. To cope with
+//  collusion, each task T is assigned to a set S of at least k+1 providers."
+//
+// A TaskGraph is built per auction by an adapter (core/adapters.hpp); the
+// ParallelAllocator executes it. Task compute functions are deterministic
+// pure functions of (dependency results, TaskContext) — replicas must produce
+// bit-identical bytes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auction/types.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace dauct::core {
+
+/// Ambient data available to every task: the agreed auction instance and the
+/// shared randomness drawn by the common coin.
+struct TaskContext {
+  const auction::AuctionInstance* instance = nullptr;
+  std::uint64_t shared_seed = 0;  ///< common-coin output
+  std::size_t m = 0;              ///< number of providers
+  std::size_t k = 0;              ///< maximum coalition size
+};
+
+/// Deterministic task body: dependency results (ordered as `deps`) → bytes.
+using TaskFn = std::function<Bytes(const std::vector<Bytes>&, const TaskContext&)>;
+
+struct TaskSpec {
+  TaskId id = 0;
+  std::string name;
+  std::vector<TaskId> deps;       ///< tasks whose results this task consumes
+  std::vector<NodeId> executors;  ///< sorted; |executors| ≥ k+1
+  TaskFn compute;
+};
+
+class TaskGraph {
+ public:
+  /// Tasks must be added in id order starting at 0.
+  void add_task(TaskSpec spec);
+
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+  const TaskSpec& task(TaskId id) const { return tasks_.at(id); }
+  std::size_t size() const { return tasks_.size(); }
+
+  /// The unique sink task (the paper's "final task that depends on all other
+  /// tasks, where all providers gather"). Valid after validate().
+  TaskId sink() const { return sink_; }
+
+  /// Providers that consume the result of `id` (union of executors of
+  /// dependent tasks), sorted. The sink has no recipients (the output-
+  /// agreement block distributes/validates the final result).
+  const std::vector<NodeId>& recipients(TaskId id) const {
+    return recipients_.at(id);
+  }
+
+  /// True if `id`'s result must be shipped by data transfer (some recipient
+  /// is not an executor).
+  bool needs_transfer(TaskId id) const;
+
+  /// Check structural invariants; returns an error string or std::nullopt.
+  ///  * ids dense, deps refer to earlier-validated tasks, acyclic by
+  ///    construction (deps must have smaller ids);
+  ///  * every executor set is sorted, non-empty, within [0, m), size ≥ k+1;
+  ///  * exactly one sink; the sink is executed by all m providers and is
+  ///    reachable from every other task.
+  std::optional<std::string> validate(std::size_t m, std::size_t k);
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::vector<NodeId>> recipients_;
+  TaskId sink_ = 0;
+};
+
+/// Partition providers 0..m-1 into c groups of size ≥ k+1 each (used for the
+/// parallel payment tasks; the paper: "we group the providers into c groups,
+/// each containing at least k+1 providers"). Requires c ≤ ⌊m/(k+1)⌋ and
+/// c ≥ 1. Groups are contiguous id ranges with remainders spread over the
+/// first groups.
+std::vector<std::vector<NodeId>> assign_groups(std::size_t m, std::size_t k,
+                                               std::size_t c);
+
+/// The maximum parallelism level p = ⌊m/(k+1)⌋ (paper §6).
+std::size_t max_parallelism(std::size_t m, std::size_t k);
+
+}  // namespace dauct::core

@@ -1,0 +1,38 @@
+#include "crypto/commitment.hpp"
+
+namespace dauct::crypto {
+
+namespace {
+Digest commitment_digest(const Digest& tag, const Opening& opening) {
+  std::uint8_t value_be[8];
+  for (int i = 0; i < 8; ++i) {
+    value_be[i] = static_cast<std::uint8_t>(opening.value >> (56 - 8 * i));
+  }
+  Sha256 h;
+  h.update(BytesView(tag.data(), tag.size()))
+      .update(BytesView(value_be, 8))
+      .update(BytesView(opening.nonce.data(), opening.nonce.size()));
+  return h.finish();
+}
+}  // namespace
+
+std::pair<Commitment, Opening> commit(const Digest& tag, std::uint64_t value, Rng& rng) {
+  Opening opening;
+  opening.value = value;
+  for (std::size_t i = 0; i < opening.nonce.size(); i += 8) {
+    const std::uint64_t r = rng.next_u64();
+    for (std::size_t j = 0; j < 8 && i + j < opening.nonce.size(); ++j) {
+      opening.nonce[i + j] = static_cast<std::uint8_t>(r >> (8 * j));
+    }
+  }
+  Commitment c{commitment_digest(tag, opening)};
+  return {c, opening};
+}
+
+bool verify(const Digest& tag, const Commitment& commitment, const Opening& opening) {
+  const Digest expected = commitment_digest(tag, opening);
+  return ct_equal(BytesView(expected.data(), expected.size()),
+                  BytesView(commitment.digest.data(), commitment.digest.size()));
+}
+
+}  // namespace dauct::crypto

@@ -1,0 +1,36 @@
+// Hash-based commitment scheme for the common coin.
+//
+// The common-coin block (Abraham–Dolev–Halpern, DISC'13) has every provider
+// commit to a random share before seeing anyone else's, then reveal. We
+// implement commitments as C = SHA256(tag || value || nonce) with a 32-byte
+// random nonce (hiding) — binding follows from collision resistance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dauct::crypto {
+
+/// A commitment to a 64-bit value.
+struct Commitment {
+  Digest digest{};
+};
+
+/// The opening: value plus blinding nonce.
+struct Opening {
+  std::uint64_t value = 0;
+  std::array<std::uint8_t, 32> nonce{};
+};
+
+/// Commit to `value` under a domain-separation `tag`, drawing the blinding
+/// nonce from `rng`. Returns the commitment and the opening (kept secret
+/// until the reveal round).
+std::pair<Commitment, Opening> commit(const Digest& tag, std::uint64_t value, Rng& rng);
+
+/// Verify that `opening` opens `commitment` under `tag`.
+bool verify(const Digest& tag, const Commitment& commitment, const Opening& opening);
+
+}  // namespace dauct::crypto

@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace dauct::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  std::uint8_t k[64] = {};
+  if (key.size() > 64) {
+    const Digest kd = sha256(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, 64)).update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, 64))
+      .update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest derive_tag(std::initializer_list<std::string_view> labels) {
+  Digest tag{};  // zero key
+  for (std::string_view label : labels) {
+    tag = hmac_sha256(
+        BytesView(tag.data(), tag.size()),
+        BytesView(reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+  }
+  return tag;
+}
+
+}  // namespace dauct::crypto

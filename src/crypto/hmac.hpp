@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-style tag derivation.
+//
+// Used for domain separation: every protocol block instance derives a unique
+// tag from (auction id, block name, instance key) so that messages from one
+// instance can never be replayed into another.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace dauct::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Derive a 32-byte domain-separation tag from a list of labels.
+/// tag = HMAC(HMAC(...HMAC(zero_key, l0), l1)..., ln)
+Digest derive_tag(std::initializer_list<std::string_view> labels);
+
+}  // namespace dauct::crypto

@@ -1,0 +1,76 @@
+#include "crypto/rng.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace dauct::crypto {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // Xoshiro must not be seeded with the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+dauct::Money Rng::next_money(dauct::Money lo, dauct::Money hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi.micros() - lo.micros()) + 1;
+  return dauct::Money::from_micros(lo.micros() +
+                                   static_cast<std::int64_t>(next_below(span)));
+}
+
+dauct::Money Rng::next_money_positive(dauct::Money hi) {
+  assert(hi > dauct::kZeroMoney);
+  return next_money(dauct::Money::from_micros(1), hi);
+}
+
+double Rng::next_exponential(double lambda) {
+  assert(lambda > 0);
+  double u = next_double();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -std::log1p(-u) / lambda;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  SplitMix64 sm(s_[0] ^ (s_[3] * 0x9e3779b97f4a7c15ULL) ^ stream);
+  Rng out;
+  for (auto& s : out.s_) s = sm.next();
+  if ((out.s_[0] | out.s_[1] | out.s_[2] | out.s_[3]) == 0) out.s_[0] = 1;
+  return out;
+}
+
+}  // namespace dauct::crypto

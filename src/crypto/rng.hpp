@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// Two generators are provided:
+//  * SplitMix64 — a tiny stream generator used to seed / derive.
+//  * Xoshiro256** — the main engine (Blackman & Vigna), fast and with good
+//    statistical quality; deterministic across platforms so replicated
+//    providers derive identical randomness from a shared seed (the common
+//    coin outputs a seed; every provider expands it identically).
+//
+// The Rng interface also provides distribution transforms used by the paper's
+// workloads and the common coin (uniform reals, uniform ints, exponential).
+#pragma once
+
+#include <cstdint>
+
+#include "common/money.hpp"
+
+namespace dauct::crypto {
+
+/// SplitMix64: seed expander (Steele, Lea, Flood).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  /// Seed via SplitMix64 expansion (never all-zero state).
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform in [lo, hi] as fixed-point Money. Requires lo <= hi.
+  dauct::Money next_money(dauct::Money lo, dauct::Money hi);
+
+  /// Uniform in (0, hi]: excludes zero (paper workloads use U(0,1]).
+  dauct::Money next_money_positive(dauct::Money hi);
+
+  /// Exponential with rate lambda (>0), as double.
+  double next_exponential(double lambda);
+
+  /// Fork an independent stream identified by `stream`. Deterministic:
+  /// fork(s) of equal-state generators with the same `stream` are identical.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  Rng() = default;
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace dauct::crypto

@@ -1,0 +1,54 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: hash-based commitments in the common coin (Abraham–Dolev–Halpern
+// commit–reveal scheme), digest-based cross-validation of broadcast values
+// (bid agreement echoes, input validation, data transfer, output agreement),
+// and for deriving per-instance domain-separation tags.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dauct::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input. May be called any number of times.
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view data);
+
+  /// Finalize and return the digest. The hasher must not be reused afterwards
+  /// without calling reset().
+  Digest finish();
+
+  /// Reset to the initial state.
+  void reset();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t bit_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot hash.
+Digest sha256(BytesView data);
+Digest sha256(std::string_view data);
+
+/// Digest as Bytes (convenience for wire payloads).
+Bytes digest_bytes(const Digest& d);
+
+/// Hex rendering of a digest.
+std::string digest_hex(const Digest& d);
+
+}  // namespace dauct::crypto

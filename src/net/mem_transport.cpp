@@ -1,0 +1,68 @@
+#include "net/mem_transport.hpp"
+
+namespace dauct::net {
+
+bool Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Message> Mailbox::pop() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> Mailbox::pop_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (!cv_.wait_for(lock, timeout, [&] { return closed_ || !queue_.empty(); })) {
+    return std::nullopt;  // timeout
+  }
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+MemNetwork::MemNetwork(std::size_t num_nodes) : mailboxes_(num_nodes) {}
+
+void MemNetwork::post(Message msg) {
+  if (msg.to < mailboxes_.size()) {
+    mailboxes_[msg.to].push(std::move(msg));
+  }
+}
+
+void MemNetwork::close_all() {
+  for (auto& mb : mailboxes_) mb.close();
+}
+
+}  // namespace dauct::net

@@ -1,0 +1,86 @@
+// In-memory threaded transport: one mailbox per node, real threads.
+//
+// Used by the ThreadRuntime to run every provider as an OS thread — the
+// closest in-process analogue of the paper's multi-machine deployment, and
+// the transport backing the concurrency tests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "net/message.hpp"
+
+namespace dauct::net {
+
+/// MPSC queue with blocking pop and close semantics.
+class Mailbox {
+ public:
+  /// Enqueue; returns false if the mailbox is closed.
+  bool push(Message msg);
+
+  /// Blocking pop; std::nullopt once closed *and* drained.
+  std::optional<Message> pop();
+
+  /// Blocking pop with deadline; std::nullopt on timeout or closed+drained.
+  std::optional<Message> pop_for(std::chrono::milliseconds timeout);
+
+  /// Non-blocking pop.
+  std::optional<Message> try_pop();
+
+  /// Close: pending messages stay poppable, new pushes are refused.
+  void close();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+/// A set of mailboxes addressed by NodeId.
+class MemNetwork {
+ public:
+  explicit MemNetwork(std::size_t num_nodes);
+
+  void post(Message msg);
+  Mailbox& mailbox(NodeId node) { return mailboxes_.at(node); }
+  void close_all();
+
+  std::size_t num_nodes() const { return mailboxes_.size(); }
+
+ private:
+  std::vector<Mailbox> mailboxes_;
+};
+
+/// Endpoint over a MemNetwork (thread-safe: post() locks per mailbox).
+class MemEndpoint final : public blocks::Endpoint {
+ public:
+  MemEndpoint(MemNetwork& network, NodeId self, std::size_t num_providers,
+              std::uint64_t rng_seed)
+      : network_(network), self_(self), num_providers_(num_providers),
+        rng_(rng_seed) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t num_providers() const override { return num_providers_; }
+
+  void send(NodeId to, const std::string& topic, Bytes payload) override {
+    network_.post(Message{self_, to, topic, std::move(payload)});
+  }
+
+  crypto::Rng& rng() override { return rng_; }
+
+ private:
+  MemNetwork& network_;
+  NodeId self_;
+  std::size_t num_providers_;
+  crypto::Rng rng_;
+};
+
+}  // namespace dauct::net

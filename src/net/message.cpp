@@ -1,0 +1,44 @@
+#include "net/message.hpp"
+
+#include <stdexcept>
+
+#include "serde/codec.hpp"
+
+namespace dauct::net {
+
+Bytes encode_frame(const Message& msg) {
+  serde::Writer body;
+  body.u32(msg.from);
+  body.u32(msg.to);
+  body.str(msg.topic);
+  body.bytes(msg.payload);
+
+  serde::Writer frame;
+  frame.u32(static_cast<std::uint32_t>(body.buffer().size()));
+  frame.raw(body.buffer());
+  return frame.take();
+}
+
+std::optional<DecodedFrame> decode_frame(BytesView data) {
+  if (data.size() < 4) return std::nullopt;
+  serde::Reader header(data.subspan(0, 4));
+  const std::uint32_t body_len = header.u32();
+  if (body_len > kMaxFrameBytes) {
+    throw std::length_error("decode_frame: oversized frame");
+  }
+  if (data.size() < 4u + body_len) return std::nullopt;
+
+  serde::Reader r(data.subspan(4, body_len));
+  DecodedFrame out;
+  out.message.from = r.u32();
+  out.message.to = r.u32();
+  out.message.topic = r.str();
+  out.message.payload = r.bytes();
+  if (!r.at_end()) {
+    throw std::length_error("decode_frame: malformed frame body");
+  }
+  out.consumed = 4u + body_len;
+  return out;
+}
+
+}  // namespace dauct::net

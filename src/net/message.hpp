@@ -1,0 +1,46 @@
+// Protocol message: the unit of communication between providers.
+//
+// `topic` is a routing key identifying the protocol block instance the
+// payload belongs to (e.g. "ba/vote", "alloc/dt/2/val"). Topics provide
+// domain separation at the routing level; payloads are opaque bytes encoded
+// with serde.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace dauct::net {
+
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string topic;
+  Bytes payload;
+
+  /// Approximate size on the wire (header + topic + payload); used by the
+  /// latency model to charge serialization delay.
+  std::size_t wire_size() const { return 16 + topic.size() + payload.size(); }
+};
+
+/// Length-prefixed frame encoding for stream transports (TCP).
+Bytes encode_frame(const Message& msg);
+
+/// Decode one frame. Returns the message and the number of bytes consumed,
+/// std::nullopt if `data` does not yet contain a complete valid frame.
+/// Frames larger than kMaxFrameBytes are rejected (returns a message with
+/// to == kNoNode and consumed > 0 would be ambiguous — instead decode_frame
+/// throws std::length_error for oversized frames; stream owners drop the
+/// connection).
+struct DecodedFrame {
+  Message message;
+  std::size_t consumed = 0;
+};
+std::optional<DecodedFrame> decode_frame(BytesView data);
+
+/// Upper bound on a frame (defensive: peers are untrusted).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+}  // namespace dauct::net

@@ -1,0 +1,100 @@
+// TCP transport: length-prefixed frames over real sockets.
+//
+// Each node runs a TcpNode: an accept loop plus one reader thread per inbound
+// connection, delivering decoded frames into a Mailbox; outbound connections
+// are opened lazily per peer and guarded by a mutex. The TCP example runs the
+// full distributed auctioneer over loopback sockets — the "crypto/networking
+// plumbing" of a real deployment, end to end.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "net/mem_transport.hpp"
+#include "net/message.hpp"
+
+namespace dauct::net {
+
+/// Address book: node id → (host, port). Loopback by default.
+struct TcpPeers {
+  std::uint16_t base_port = 0;  ///< node j listens on base_port + j
+  std::string host = "127.0.0.1";
+
+  std::uint16_t port_of(NodeId node) const {
+    return static_cast<std::uint16_t>(base_port + node);
+  }
+};
+
+/// One protocol node on a real TCP socket.
+class TcpNode {
+ public:
+  /// Binds and starts the accept loop. Throws std::runtime_error on failure
+  /// (e.g. port in use).
+  TcpNode(NodeId self, TcpPeers peers);
+  ~TcpNode();
+
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  /// Send a frame to `msg.to` (connects lazily). Returns false if the
+  /// connection could not be established or the write failed.
+  bool send(Message msg);
+
+  /// Inbound messages land here.
+  Mailbox& inbox() { return inbox_; }
+
+  NodeId self() const { return self_; }
+
+  /// Stop accepting/reading and close all sockets (also closes the inbox).
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void reader_loop(int fd);
+  int connect_to(NodeId peer);
+
+  NodeId self_;
+  TcpPeers peers_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  Mailbox inbox_;
+  std::thread acceptor_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<int> accepted_fds_;  // guarded by readers_mutex_
+
+  std::mutex out_mutex_;
+  std::map<NodeId, int> out_fds_;
+};
+
+/// Endpoint over a TcpNode.
+class TcpEndpoint final : public blocks::Endpoint {
+ public:
+  TcpEndpoint(TcpNode& node, std::size_t num_providers, std::uint64_t rng_seed)
+      : node_(node), num_providers_(num_providers), rng_(rng_seed) {}
+
+  NodeId self() const override { return node_.self(); }
+  std::size_t num_providers() const override { return num_providers_; }
+
+  void send(NodeId to, const std::string& topic, Bytes payload) override {
+    node_.send(Message{node_.self(), to, topic, std::move(payload)});
+  }
+
+  crypto::Rng& rng() override { return rng_; }
+
+ private:
+  TcpNode& node_;
+  std::size_t num_providers_;
+  crypto::Rng rng_;
+};
+
+/// Pick a base port that is likely free (ephemeral range, pid-salted).
+std::uint16_t pick_base_port(std::uint16_t span);
+
+}  // namespace dauct::net

@@ -1,0 +1,255 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "net/sim_transport.hpp"
+#include "serde/auction_codec.hpp"
+#include "serde/codec.hpp"
+
+namespace dauct::runtime {
+
+namespace {
+
+constexpr const char* kBidsTopic = "client/bids";
+constexpr const char* kResultTopic = "client/result";
+
+/// Encode the (possibly absent) bids a provider receives from the client.
+Bytes encode_submissions(const std::vector<std::optional<auction::Bid>>& subs) {
+  serde::Writer w;
+  w.varint(subs.size());
+  for (const auto& s : subs) {
+    w.boolean(s.has_value());
+    if (s) serde::write_bid(w, *s);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<std::optional<auction::Bid>>> decode_submissions(
+    BytesView data) {
+  serde::Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > (1u << 22)) return std::nullopt;
+  std::vector<std::optional<auction::Bid>> out(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (r.boolean()) {
+      auto b = serde::read_bid(r);
+      if (!b) return std::nullopt;
+      out[i] = *b;
+    }
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+/// What the paper's deadline rule yields as provider input: the submitted
+/// bid if present, valid, and correctly addressed; the neutral bid otherwise.
+std::vector<auction::Bid> sanitize_submissions(
+    const std::vector<std::optional<auction::Bid>>& subs,
+    const auction::BidLimits& limits) {
+  std::vector<auction::Bid> bids;
+  bids.reserve(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const auto& s = subs[i];
+    if (s && s->bidder == i && limits.valid(*s)) {
+      bids.push_back(*s);
+    } else {
+      bids.push_back(auction::neutral_bid(static_cast<BidderId>(i)));
+    }
+  }
+  return bids;
+}
+
+}  // namespace
+
+sim::SimTime SimRunResult::bid_agreement_makespan() const {
+  sim::SimTime t = 0;
+  for (sim::SimTime v : bid_agreement_done_at) t = std::max(t, v);
+  return t;
+}
+
+sim::SimTime SimRunResult::provider_makespan() const {
+  sim::SimTime t = 0;
+  for (sim::SimTime v : provider_done_at) t = std::max(t, v);
+  return t;
+}
+
+SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auctioneer,
+                                         const auction::AuctionInstance& instance) {
+  const std::size_t m = auctioneer.spec().m;
+  const std::size_t n = auctioneer.spec().num_bidders;
+  const NodeId client = static_cast<NodeId>(m);
+
+  sim::Scheduler scheduler(m + 1, config_.latency, config_.seed, config_.cost_mode);
+  scheduler.set_cpu_scale(config_.cpu_scale);
+
+  // Endpoints (with deviation wrappers for coalition members) and engines.
+  crypto::Rng seeder(config_.seed ^ 0xd15742u);
+  std::vector<std::unique_ptr<net::SimEndpoint>> endpoints;
+  std::vector<std::unique_ptr<adversary::DeviantEndpoint>> deviants;
+  std::vector<std::unique_ptr<core::ProviderEngine>> engines;
+  endpoints.reserve(m);
+  engines.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    endpoints.push_back(
+        std::make_unique<net::SimEndpoint>(scheduler, j, m, seeder.next_u64()));
+    blocks::Endpoint* ep = endpoints.back().get();
+    if (auto it = config_.deviations.find(j); it != config_.deviations.end()) {
+      deviants.push_back(
+          std::make_unique<adversary::DeviantEndpoint>(*ep, it->second));
+      ep = deviants.back().get();
+    }
+    auction::Ask ask = j < instance.asks.size() ? instance.asks[j] : auction::Ask{j, {}, {}};
+    engines.push_back(auctioneer.make_engine(*ep, ask));
+  }
+
+  // Per-provider delivery: client bids start the engine; everything else is
+  // protocol traffic. A provider reports to the client exactly once, as soon
+  // as its outcome is decided.
+  std::vector<bool> reported(m, false);
+  std::vector<sim::SimTime> ba_done(m, 0), eng_done(m, 0);
+  std::size_t results_at_client = 0;
+  sim::SimTime client_done_at = 0;
+
+  for (NodeId j = 0; j < m; ++j) {
+    scheduler.set_deliver(j, [&, j](const net::Message& msg) {
+      core::ProviderEngine& engine = *engines[j];
+      if (msg.topic == kBidsTopic) {
+        auto subs = decode_submissions(BytesView(msg.payload));
+        if (subs) {
+          engine.start(sanitize_submissions(*subs, auctioneer.spec().limits));
+        }
+      } else {
+        engine.on_message(msg);
+      }
+      if (ba_done[j] == 0 && engine.agreed_bids().has_value()) {
+        ba_done[j] = scheduler.now();
+      }
+      if (eng_done[j] == 0 && engine.done()) {
+        eng_done[j] = scheduler.now();
+      }
+      if (engine.done() && !reported[j]) {
+        reported[j] = true;
+        const auto& out = *engine.outcome();
+        serde::Writer w;
+        w.boolean(out.ok());
+        if (out.ok()) {
+          w.bytes(serde::encode_result(out.value()));
+        } else {
+          w.u8(static_cast<std::uint8_t>(out.bottom().reason));
+        }
+        scheduler.send(net::Message{j, client, kResultTopic, w.take()});
+      }
+    });
+  }
+
+  scheduler.set_deliver(client, [&](const net::Message& msg) {
+    if (msg.topic == kResultTopic) {
+      ++results_at_client;
+      if (results_at_client == m) client_done_at = scheduler.now();
+    }
+  });
+
+  // The client submits every bidder's (behaviour-shaped) bids to every
+  // provider at t = 0 — one batch message per provider, as in the paper's
+  // prototype.
+  crypto::Rng bidder_rng(config_.seed ^ 0xb1dde5u);
+  const auto honest = adversary::honest_bidder();
+  for (NodeId j = 0; j < m; ++j) {
+    std::vector<std::optional<auction::Bid>> subs(n);
+    for (std::size_t i = 0; i < n && i < instance.bids.size(); ++i) {
+      const adversary::BidderBehaviour* behaviour = honest.get();
+      if (auto it = config_.bidder_script.find(static_cast<BidderId>(i));
+          it != config_.bidder_script.end()) {
+        behaviour = it->second.get();
+      }
+      subs[i] = behaviour->bid_for(instance.bids[i], j, bidder_rng);
+    }
+    scheduler.inject(sim::kSimStart,
+                     net::Message{client, j, kBidsTopic, encode_submissions(subs)});
+  }
+
+  const bool overflow = scheduler.run_some(config_.max_events);
+  if (overflow) {
+    DAUCT_WARN("sim runtime: event budget exhausted; treating run as stalled");
+  }
+
+  SimRunResult result;
+  result.provider_outcomes.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    if (engines[j]->done()) {
+      result.provider_outcomes.push_back(*engines[j]->outcome());
+    } else {
+      result.stalled = true;
+      result.provider_outcomes.push_back(auction::AuctionOutcome(
+          Bottom{AbortReason::kTimeout, "provider never finished"}));
+    }
+  }
+  result.global_outcome =
+      core::combine_outcomes(std::span(result.provider_outcomes));
+  result.makespan = results_at_client == m ? client_done_at : scheduler.now();
+  result.traffic = scheduler.traffic();
+  result.bid_agreement_done_at = std::move(ba_done);
+  result.provider_done_at = std::move(eng_done);
+  return result;
+}
+
+SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auctioneer,
+                                         const auction::AuctionInstance& instance) {
+  // Node 0 = the trusted auctioneer, node 1 = the client.
+  const NodeId trusted = 0, client = 1;
+  sim::Scheduler scheduler(2, config_.latency, config_.seed, config_.cost_mode);
+  scheduler.set_cpu_scale(config_.cpu_scale);
+
+  crypto::Rng seed_rng(config_.seed ^ 0xc3a1u);
+  const std::uint64_t coin = seed_rng.next_u64();
+
+  std::optional<auction::AuctionResult> result_value;
+  sim::SimTime client_done_at = 0;
+  bool client_got_result = false;
+
+  scheduler.set_deliver(trusted, [&](const net::Message& msg) {
+    if (msg.topic != kBidsTopic) return;
+    auto subs = decode_submissions(BytesView(msg.payload));
+    if (!subs) return;
+    auction::AuctionInstance run_instance;
+    run_instance.bids = sanitize_submissions(*subs, auction::BidLimits{});
+    run_instance.asks = instance.asks;
+    result_value = auctioneer.run(run_instance, coin);
+    scheduler.send(net::Message{trusted, client, kResultTopic,
+                                serde::encode_result(*result_value)});
+  });
+
+  scheduler.set_deliver(client, [&](const net::Message& msg) {
+    if (msg.topic == kResultTopic) {
+      client_got_result = true;
+      client_done_at = scheduler.now();
+    }
+  });
+
+  // Bids travel client → auctioneer in one batch message.
+  std::vector<std::optional<auction::Bid>> subs(instance.bids.size());
+  for (std::size_t i = 0; i < instance.bids.size(); ++i) subs[i] = instance.bids[i];
+  scheduler.inject(sim::kSimStart,
+                   net::Message{client, trusted, kBidsTopic, encode_submissions(subs)});
+
+  scheduler.run_some(config_.max_events);
+
+  SimRunResult result;
+  if (result_value && client_got_result) {
+    result.provider_outcomes.push_back(auction::AuctionOutcome(*result_value));
+    result.makespan = client_done_at;
+  } else {
+    result.stalled = true;
+    result.provider_outcomes.push_back(auction::AuctionOutcome(
+        Bottom{AbortReason::kTimeout, "centralized run never completed"}));
+    result.makespan = scheduler.now();
+  }
+  result.global_outcome =
+      core::combine_outcomes(std::span(result.provider_outcomes));
+  result.traffic = scheduler.traffic();
+  result.shared_seed = coin;
+  return result;
+}
+
+}  // namespace dauct::runtime

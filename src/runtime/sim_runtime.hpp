@@ -1,0 +1,83 @@
+// Deterministic virtual-time runtime.
+//
+// Reproduces the paper's deployment shape on a simulated community network:
+// a client node generates the users' bids and submits them to every provider
+// at t = 0; the providers run the distributed-auctioneer protocol; each
+// provider returns its output to the client. The reported makespan is, as in
+// the paper (§6.1), "the time from when the inputs are generated at this
+// client node, till the time it receives the results from all the
+// experiment instances."
+//
+// Two execution shapes:
+//  * run_distributed — the m-provider simulation of the auctioneer;
+//  * run_centralized — the trusted-auctioneer baseline (client → auctioneer
+//    node → client).
+//
+// Adversarial knobs: per-bidder behaviours (equivocation, silence, garbage)
+// and per-provider deviation strategies (coalitions).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "adversary/bidder_behaviour.hpp"
+#include "adversary/provider_deviation.hpp"
+#include "core/centralized_auctioneer.hpp"
+#include "core/distributed_auctioneer.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dauct::runtime {
+
+struct SimRunConfig {
+  sim::LatencyModel latency = sim::LatencyModel::community();
+  sim::CostMode cost_mode = sim::CostMode::kZero;
+  double cpu_scale = 1.0;      ///< calibration multiplier on measured CPU
+  std::uint64_t seed = 1;      ///< drives jitter, node RNGs, bidder RNG
+
+  /// Per-bidder behaviour overrides (default honest).
+  adversary::BidderScript bidder_script;
+  /// Coalition members and their deviation strategies.
+  std::map<NodeId, std::shared_ptr<adversary::DeviationStrategy>> deviations;
+
+  /// Safety valve against runaway simulations.
+  std::uint64_t max_events = 50'000'000;
+};
+
+struct SimRunResult {
+  std::vector<auction::AuctionOutcome> provider_outcomes;
+  auction::AuctionOutcome global_outcome{Bottom{}};
+  sim::SimTime makespan = 0;       ///< client-observed end-to-end time
+  sim::TrafficStats traffic;
+  bool stalled = false;  ///< some provider never finished (counts as ⊥)
+  std::uint64_t shared_seed = 0;   ///< common-coin value (distributed runs)
+
+  /// Phase breakdown (distributed runs): virtual time at which each provider
+  /// finished bid agreement / produced its final output. Zero if never.
+  std::vector<sim::SimTime> bid_agreement_done_at;
+  std::vector<sim::SimTime> provider_done_at;
+
+  /// Max over providers (0 if none finished the phase).
+  sim::SimTime bid_agreement_makespan() const;
+  sim::SimTime provider_makespan() const;
+};
+
+class SimRuntime {
+ public:
+  explicit SimRuntime(SimRunConfig config) : config_(std::move(config)) {}
+
+  const SimRunConfig& config() const { return config_; }
+
+  /// Run the full distributed protocol on `instance` (true valuations; what
+  /// bidders actually send is shaped by the bidder script).
+  SimRunResult run_distributed(const core::DistributedAuctioneer& auctioneer,
+                               const auction::AuctionInstance& instance);
+
+  /// Run the trusted-auctioneer baseline.
+  SimRunResult run_centralized(const core::CentralizedAuctioneer& auctioneer,
+                               const auction::AuctionInstance& instance);
+
+ private:
+  SimRunConfig config_;
+};
+
+}  // namespace dauct::runtime

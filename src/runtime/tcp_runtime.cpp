@@ -1,0 +1,113 @@
+#include "runtime/tcp_runtime.hpp"
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "serde/auction_codec.hpp"
+
+namespace dauct::runtime {
+
+namespace {
+constexpr const char* kBidsTopic = "client/bids";
+constexpr const char* kResultTopic = "client/result";
+}  // namespace
+
+TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auctioneer,
+                                         const auction::AuctionInstance& instance) {
+  const std::size_t m = auctioneer.spec().m;
+  const NodeId client = static_cast<NodeId>(m);
+
+  net::TcpPeers peers;
+  peers.base_port = config_.base_port != 0
+                        ? config_.base_port
+                        : net::pick_base_port(static_cast<std::uint16_t>(m + 1));
+
+  TcpRunResult result;
+  result.base_port = peers.base_port;
+
+  // Bring up all nodes (listen sockets) before any traffic.
+  std::vector<std::unique_ptr<net::TcpNode>> nodes;
+  nodes.reserve(m + 1);
+  for (NodeId j = 0; j <= m; ++j) {
+    nodes.push_back(std::make_unique<net::TcpNode>(j, peers));
+  }
+
+  crypto::Rng seeder(config_.seed ^ 0x7c9ULL);
+  std::vector<std::unique_ptr<net::TcpEndpoint>> endpoints;
+  std::vector<std::unique_ptr<core::ProviderEngine>> engines;
+  for (NodeId j = 0; j < m; ++j) {
+    endpoints.push_back(
+        std::make_unique<net::TcpEndpoint>(*nodes[j], m, seeder.next_u64()));
+    auction::Ask ask =
+        j < instance.asks.size() ? instance.asks[j] : auction::Ask{j, {}, {}};
+    engines.push_back(auctioneer.make_engine(*endpoints[j], ask));
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    threads.emplace_back([&, j] {
+      core::ProviderEngine& engine = *engines[j];
+      bool reported = false;
+      while (auto msg = nodes[j]->inbox().pop()) {
+        if (msg->topic == kBidsTopic) {
+          auto bids = serde::decode_bid_vector(BytesView(msg->payload));
+          if (bids) engine.start(*bids);
+        } else {
+          engine.on_message(*msg);
+        }
+        if (engine.done() && !reported) {
+          reported = true;
+          nodes[j]->send(net::Message{j, client, kResultTopic, Bytes{}});
+        }
+      }
+    });
+  }
+
+  // Client: one bid batch per provider, then await m reports.
+  const Bytes bid_payload = serde::encode_bid_vector(instance.bids);
+  for (NodeId j = 0; j < m; ++j) {
+    if (!nodes[client]->send(net::Message{client, j, kBidsTopic, bid_payload})) {
+      DAUCT_ERROR("tcp runtime: bid submission to provider " << j << " failed");
+    }
+  }
+
+  std::size_t reports = 0;
+  const auto deadline = start_time + config_.timeout;
+  while (reports < m) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    if (auto msg = nodes[client]->inbox().pop_for(remaining)) {
+      if (msg->topic == kResultTopic) ++reports;
+    } else if (std::chrono::steady_clock::now() >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+  }
+  result.wall_time = std::chrono::steady_clock::now() - start_time;
+
+  for (auto& node : nodes) node->shutdown();
+  for (auto& t : threads) t.join();
+
+  result.provider_outcomes.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    if (engines[j]->done()) {
+      result.provider_outcomes.push_back(*engines[j]->outcome());
+    } else {
+      result.provider_outcomes.push_back(auction::AuctionOutcome(
+          Bottom{AbortReason::kTimeout, "tcp runtime stall"}));
+    }
+  }
+  result.global_outcome =
+      core::combine_outcomes(std::span(result.provider_outcomes));
+  return result;
+}
+
+}  // namespace dauct::runtime

@@ -1,0 +1,40 @@
+// TCP runtime: the distributed auctioneer over real loopback sockets.
+//
+// Spawns one TcpNode + engine thread per provider plus a client node that
+// submits bids and collects results — the paper's deployment shape with real
+// networking plumbing (framing, connection management, concurrent readers).
+#pragma once
+
+#include <chrono>
+
+#include "core/distributed_auctioneer.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace dauct::runtime {
+
+struct TcpRunConfig {
+  std::uint64_t seed = 1;
+  std::uint16_t base_port = 0;  ///< 0 → pick automatically
+  std::chrono::milliseconds timeout{20'000};
+};
+
+struct TcpRunResult {
+  std::vector<auction::AuctionOutcome> provider_outcomes;
+  auction::AuctionOutcome global_outcome{Bottom{}};
+  std::chrono::nanoseconds wall_time{0};
+  bool timed_out = false;
+  std::uint16_t base_port = 0;  ///< ports actually used
+};
+
+class TcpRuntime {
+ public:
+  explicit TcpRuntime(TcpRunConfig config) : config_(std::move(config)) {}
+
+  TcpRunResult run_distributed(const core::DistributedAuctioneer& auctioneer,
+                               const auction::AuctionInstance& instance);
+
+ private:
+  TcpRunConfig config_;
+};
+
+}  // namespace dauct::runtime

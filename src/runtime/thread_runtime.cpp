@@ -1,0 +1,106 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <thread>
+
+#include "serde/auction_codec.hpp"
+#include "serde/codec.hpp"
+
+namespace dauct::runtime {
+
+namespace {
+constexpr const char* kBidsTopic = "client/bids";
+constexpr const char* kResultTopic = "client/result";
+}  // namespace
+
+ThreadRunResult ThreadRuntime::run_distributed(
+    const core::DistributedAuctioneer& auctioneer,
+    const auction::AuctionInstance& instance) {
+  const std::size_t m = auctioneer.spec().m;
+  const NodeId client = static_cast<NodeId>(m);
+  net::MemNetwork network(m + 1);
+
+  crypto::Rng seeder(config_.seed ^ 0x7713adULL);
+  std::vector<std::unique_ptr<net::MemEndpoint>> endpoints;
+  std::vector<std::unique_ptr<adversary::DeviantEndpoint>> deviants;
+  std::vector<std::unique_ptr<core::ProviderEngine>> engines;
+  for (NodeId j = 0; j < m; ++j) {
+    endpoints.push_back(
+        std::make_unique<net::MemEndpoint>(network, j, m, seeder.next_u64()));
+    blocks::Endpoint* ep = endpoints.back().get();
+    if (auto it = config_.deviations.find(j); it != config_.deviations.end()) {
+      deviants.push_back(
+          std::make_unique<adversary::DeviantEndpoint>(*ep, it->second));
+      ep = deviants.back().get();
+    }
+    auction::Ask ask =
+        j < instance.asks.size() ? instance.asks[j] : auction::Ask{j, {}, {}};
+    engines.push_back(auctioneer.make_engine(*ep, ask));
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    threads.emplace_back([&, j] {
+      core::ProviderEngine& engine = *engines[j];
+      bool reported = false;
+      while (auto msg = network.mailbox(j).pop()) {
+        if (msg->topic == kBidsTopic) {
+          auto bids = serde::decode_bid_vector(BytesView(msg->payload));
+          if (bids) engine.start(*bids);
+        } else {
+          engine.on_message(*msg);
+        }
+        if (engine.done() && !reported) {
+          reported = true;
+          network.post(net::Message{j, client, kResultTopic, Bytes{}});
+        }
+      }
+    });
+  }
+
+  // The client: submit all bids to every provider, then await m reports.
+  const Bytes bid_payload = serde::encode_bid_vector(instance.bids);
+  for (NodeId j = 0; j < m; ++j) {
+    network.post(net::Message{client, j, kBidsTopic, bid_payload});
+  }
+
+  ThreadRunResult result;
+  std::size_t reports = 0;
+  const auto deadline = start_time + config_.timeout;
+  while (reports < m) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    if (auto msg = network.mailbox(client).pop_for(remaining)) {
+      if (msg->topic == kResultTopic) ++reports;
+    } else if (std::chrono::steady_clock::now() >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+  }
+  result.wall_time = std::chrono::steady_clock::now() - start_time;
+
+  network.close_all();
+  for (auto& t : threads) t.join();
+
+  result.provider_outcomes.reserve(m);
+  for (NodeId j = 0; j < m; ++j) {
+    if (engines[j]->done()) {
+      result.provider_outcomes.push_back(*engines[j]->outcome());
+    } else {
+      result.provider_outcomes.push_back(auction::AuctionOutcome(
+          Bottom{AbortReason::kTimeout, "thread runtime stall"}));
+    }
+  }
+  result.global_outcome =
+      core::combine_outcomes(std::span(result.provider_outcomes));
+  return result;
+}
+
+}  // namespace dauct::runtime

@@ -1,0 +1,22 @@
+#include "serde/bitstream.hpp"
+
+namespace dauct::serde {
+
+std::vector<bool> to_bits(BytesView data) {
+  std::vector<bool> bits;
+  bits.reserve(data.size() * 8);
+  for (std::uint8_t b : data) {
+    for (int i = 7; i >= 0; --i) bits.push_back(((b >> i) & 1) != 0);
+  }
+  return bits;
+}
+
+Bytes from_bits(const std::vector<bool>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+  }
+  return out;
+}
+
+}  // namespace dauct::serde

@@ -1,0 +1,25 @@
+// Bit-stream codec.
+//
+// The paper's bid agreement runs one rational-consensus instance per *bit* of
+// the serialized bid ("provider j generates a stream of bits uniquely
+// determined from b_i^j and inputs each bit to a rational consensus
+// instance"). This codec converts byte buffers to/from bit vectors with a
+// stable bit order (MSB-first within each byte).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dauct::serde {
+
+/// Expand bytes into bits, MSB-first.
+std::vector<bool> to_bits(BytesView data);
+
+/// Pack bits (MSB-first) back into bytes. The bit count must be a multiple
+/// of 8 (bid encodings are fixed-width); otherwise the trailing partial byte
+/// is zero-padded.
+Bytes from_bits(const std::vector<bool>& bits);
+
+}  // namespace dauct::serde

@@ -1,0 +1,131 @@
+#include "serde/codec.hpp"
+
+namespace dauct::serde {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::money(dauct::Money v) { i64(v.micros()); }
+
+void Writer::bytes(BytesView v) {
+  varint(v.size());
+  raw(v);
+}
+
+void Writer::raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+void Writer::str(std::string_view v) {
+  varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+bool Reader::need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!need(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!need(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!need(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (!need(1)) return 0;
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) {
+      ok_ = false;  // overflow
+      return 0;
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) ok_ = false;
+  return v == 1;
+}
+
+dauct::Money Reader::money() { return dauct::Money::from_micros(i64()); }
+
+Bytes Reader::bytes() {
+  const std::uint64_t len = varint();
+  if (!ok_ || len > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  return raw(static_cast<std::size_t>(len));
+}
+
+Bytes Reader::raw(std::size_t len) {
+  if (!need(len)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Reader::str() {
+  const Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace dauct::serde

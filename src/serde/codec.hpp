@@ -1,0 +1,79 @@
+// Binary serialization: Writer/Reader over byte buffers.
+//
+// All protocol payloads are encoded with this codec. The encoding is
+// deterministic and platform-independent (little-endian fixed ints, LEB128
+// varints), which matters because providers cross-validate each other's
+// payloads by hash equality.
+//
+// Reader is *defensive*: every accessor reports failure on truncated or
+// malformed input instead of crashing — payloads arrive from untrusted peers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/money.hpp"
+
+namespace dauct::serde {
+
+/// Appends values to a byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void varint(std::uint64_t v);  ///< LEB128
+  void boolean(bool v);
+  void money(dauct::Money v);
+  void bytes(BytesView v);    ///< varint length prefix + raw bytes
+  void raw(BytesView v);      ///< raw bytes, no length prefix
+  void str(std::string_view v);
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads values from a byte buffer. On any malformed access, ok() turns false
+/// and all further reads return zero values; callers check ok() once at the
+/// end of decoding a message.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  std::uint64_t varint();
+  bool boolean();
+  dauct::Money money();
+  Bytes bytes();
+  Bytes raw(std::size_t len);
+  std::string str();
+
+  /// True while no decode error has occurred.
+  bool ok() const { return ok_; }
+  /// True when the whole buffer has been consumed (and no error occurred).
+  bool at_end() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dauct::serde

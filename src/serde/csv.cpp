@@ -1,0 +1,190 @@
+#include "serde/csv.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace dauct::serde {
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+std::optional<Money> parse_money(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  // Accept [-]digits[.digits], up to 6 fractional digits.
+  std::size_t pos = 0;
+  bool negative = false;
+  if (text[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    return std::nullopt;
+  }
+  std::int64_t whole = 0;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    whole = whole * 10 + (text[pos] - '0');
+    if (whole > 9'000'000'000'000LL) return std::nullopt;  // overflow guard
+    ++pos;
+  }
+  std::int64_t frac = 0;
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    int digits = 0;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      if (digits < 6) {
+        frac = frac * 10 + (text[pos] - '0');
+        ++digits;
+      }
+      ++pos;
+    }
+    while (digits < 6) {
+      frac *= 10;
+      ++digits;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;  // trailing garbage
+  const std::int64_t micros = whole * Money::kScale + frac;
+  return Money::from_micros(negative ? -micros : micros);
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::optional<std::uint32_t> parse_id(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xffffffffULL) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+CsvResult<std::vector<auction::Bid>> parse_bids_csv(const std::string& content) {
+  CsvResult<std::vector<auction::Bid>> out;
+  const auto lines = split_lines(content);
+  if (lines.empty()) {
+    out.error = "empty bids file";
+    return out;
+  }
+  if (csv_split(lines[0]) != std::vector<std::string>{"bidder", "unit_value", "demand"}) {
+    out.error = "bids header must be: bidder,unit_value,demand";
+    return out;
+  }
+  std::vector<auction::Bid> bids;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = csv_split(lines[i]);
+    if (fields.size() != 3) {
+      out.error = "bids line " + std::to_string(i + 1) + ": expected 3 fields";
+      return out;
+    }
+    const auto id = parse_id(fields[0]);
+    const auto value = parse_money(fields[1]);
+    const auto demand = parse_money(fields[2]);
+    if (!id || !value || !demand) {
+      out.error = "bids line " + std::to_string(i + 1) + ": malformed value";
+      return out;
+    }
+    bids.push_back({*id, *value, *demand});
+  }
+  out.value = std::move(bids);
+  return out;
+}
+
+CsvResult<std::vector<auction::Ask>> parse_asks_csv(const std::string& content) {
+  CsvResult<std::vector<auction::Ask>> out;
+  const auto lines = split_lines(content);
+  if (lines.empty()) {
+    out.error = "empty asks file";
+    return out;
+  }
+  if (csv_split(lines[0]) !=
+      std::vector<std::string>{"provider", "unit_cost", "capacity"}) {
+    out.error = "asks header must be: provider,unit_cost,capacity";
+    return out;
+  }
+  std::vector<auction::Ask> asks;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = csv_split(lines[i]);
+    if (fields.size() != 3) {
+      out.error = "asks line " + std::to_string(i + 1) + ": expected 3 fields";
+      return out;
+    }
+    const auto id = parse_id(fields[0]);
+    const auto cost = parse_money(fields[1]);
+    const auto capacity = parse_money(fields[2]);
+    if (!id || !cost || !capacity) {
+      out.error = "asks line " + std::to_string(i + 1) + ": malformed value";
+      return out;
+    }
+    asks.push_back({*id, *cost, *capacity});
+  }
+  out.value = std::move(asks);
+  return out;
+}
+
+std::string bids_to_csv(const std::vector<auction::Bid>& bids) {
+  std::string out = "bidder,unit_value,demand\n";
+  for (const auto& b : bids) {
+    out += std::to_string(b.bidder) + "," + b.unit_value.str() + "," +
+           b.demand.str() + "\n";
+  }
+  return out;
+}
+
+std::string asks_to_csv(const std::vector<auction::Ask>& asks) {
+  std::string out = "provider,unit_cost,capacity\n";
+  for (const auto& a : asks) {
+    out += std::to_string(a.provider) + "," + a.unit_cost.str() + "," +
+           a.capacity.str() + "\n";
+  }
+  return out;
+}
+
+std::string result_to_csv(const auction::AuctionInstance& instance,
+                          const auction::AuctionResult& result) {
+  std::string out = "bidder,provider,amount,payment\n";
+  for (const auto& e : result.allocation.entries()) {
+    const Money payment = e.bidder < result.payments.user_payments.size()
+                              ? result.payments.user_payments[e.bidder]
+                              : kZeroMoney;
+    out += std::to_string(e.bidder) + "," + std::to_string(e.provider) + "," +
+           e.amount.str() + "," + payment.str() + "\n";
+  }
+  out += "provider,revenue\n";
+  for (std::size_t j = 0; j < instance.asks.size(); ++j) {
+    const Money rev = j < result.payments.provider_revenues.size()
+                          ? result.payments.provider_revenues[j]
+                          : kZeroMoney;
+    out += std::to_string(j) + "," + rev.str() + "\n";
+  }
+  return out;
+}
+
+}  // namespace dauct::serde

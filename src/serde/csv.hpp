@@ -1,0 +1,44 @@
+// Minimal CSV reader/writer for bid and ask files (CLI tool input/output).
+//
+// Format (header required, fields in order):
+//   bids:  bidder,unit_value,demand
+//   asks:  provider,unit_cost,capacity
+// Values are decimals (converted to fixed-point Money). Parsing is strict:
+// any malformed row yields an error message instead of a partial market.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auction/types.hpp"
+
+namespace dauct::serde {
+
+/// Result of a CSV parse: value or a human-readable error.
+template <typename T>
+struct CsvResult {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+/// Split one CSV line into fields (no quoting — numeric data only).
+std::vector<std::string> csv_split(const std::string& line);
+
+/// Parse a decimal string into Money. Rejects garbage and overflow.
+std::optional<Money> parse_money(const std::string& text);
+
+CsvResult<std::vector<auction::Bid>> parse_bids_csv(const std::string& content);
+CsvResult<std::vector<auction::Ask>> parse_asks_csv(const std::string& content);
+
+std::string bids_to_csv(const std::vector<auction::Bid>& bids);
+std::string asks_to_csv(const std::vector<auction::Ask>& asks);
+
+/// Render an auction result as CSV ("bidder,provider,amount,payment" rows
+/// followed by "provider,revenue" rows), for piping into other tools.
+std::string result_to_csv(const auction::AuctionInstance& instance,
+                          const auction::AuctionResult& result);
+
+}  // namespace dauct::serde

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace dauct::sim {
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", to_millis(t));
+  return buf;
+}
+
+void EventQueue::schedule(SimTime at, Callback fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; copy the (cheap) std::function handle out
+  // rather than const_cast-moving it.
+  Event ev = heap_.top();
+  heap_.pop();
+  ++executed_;
+  ev.fn();
+  return ev.at;
+}
+
+}  // namespace dauct::sim

@@ -1,0 +1,54 @@
+// Deterministic event queue for the virtual-time simulator.
+//
+// Events are ordered by (time, sequence-number): ties are broken by insertion
+// order, so a run is a pure function of the seed and the charged costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace dauct::sim {
+
+/// A scheduled event: an opaque callback firing at a virtual time.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at virtual time `at`.
+  void schedule(SimTime at, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Virtual time of the earliest pending event.
+  SimTime next_time() const;
+
+  /// Pop and run the earliest event; returns its time.
+  SimTime run_next();
+
+  /// Total events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dauct::sim

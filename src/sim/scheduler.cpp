@@ -1,0 +1,147 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <ctime>
+
+#include "common/log.hpp"
+
+namespace dauct::sim {
+
+namespace {
+SimTime thread_cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+}  // namespace
+
+Scheduler::Scheduler(std::size_t num_nodes, LatencyModel latency, std::uint64_t seed,
+                     CostMode cost_mode)
+    : num_nodes_(num_nodes),
+      latency_(latency),
+      rng_(seed),
+      cost_mode_(cost_mode),
+      clocks_(num_nodes, kSimStart),
+      handlers_(num_nodes),
+      node_delay_(num_nodes, 0) {}
+
+void Scheduler::set_deliver(NodeId node, DeliverFn fn) {
+  handlers_.at(node) = std::move(fn);
+}
+
+void Scheduler::set_node_delay(NodeId node, SimTime extra) {
+  node_delay_.at(node) = extra;
+}
+
+void Scheduler::send(net::Message msg) {
+  assert(msg.to < num_nodes_);
+  if (in_handler_) {
+    outbox_.push_back(std::move(msg));  // departs at handler end
+  } else {
+    const SimTime depart = msg.from < num_nodes_ ? clocks_[msg.from] : now_;
+    SimTime lat = latency_.sample(msg.wire_size(), rng_);
+    lat += node_delay_[msg.to];
+    if (msg.from < num_nodes_) lat += node_delay_[msg.from];
+    traffic_.messages += 1;
+    traffic_.bytes += msg.wire_size();
+    net::Message m = std::move(msg);
+    queue_.schedule(depart + lat, [this, m = std::move(m), t = depart + lat]() mutable {
+      deliver(t, std::move(m));
+    });
+  }
+}
+
+void Scheduler::inject(SimTime at, net::Message msg) {
+  assert(msg.to < num_nodes_);
+  SimTime lat = latency_.sample(msg.wire_size(), rng_) + node_delay_[msg.to];
+  traffic_.messages += 1;
+  traffic_.bytes += msg.wire_size();
+  const SimTime arrive = at + lat;
+  queue_.schedule(arrive, [this, m = std::move(msg), arrive]() mutable {
+    deliver(arrive, std::move(m));
+  });
+}
+
+void Scheduler::charge(SimTime cost) {
+  assert(in_handler_ && "charge() must be called from inside a handler");
+  extra_charge_ += cost;
+}
+
+void Scheduler::flush_outbox(SimTime depart) {
+  for (auto& msg : outbox_) {
+    SimTime lat = latency_.sample(msg.wire_size(), rng_);
+    lat += node_delay_[msg.to];
+    if (msg.from < num_nodes_) lat += node_delay_[msg.from];
+    traffic_.messages += 1;
+    traffic_.bytes += msg.wire_size();
+    const SimTime arrive = depart + lat;
+    queue_.schedule(arrive, [this, m = std::move(msg), arrive]() mutable {
+      deliver(arrive, std::move(m));
+    });
+  }
+  outbox_.clear();
+}
+
+void Scheduler::deliver(SimTime at, net::Message msg) {
+  const NodeId node = msg.to;
+  if (trace_enabled_) {
+    trace_.push_back(TraceEntry{at, msg.from, node, msg.topic, msg.wire_size()});
+  }
+  if (!handlers_[node]) {
+    DAUCT_DEBUG("scheduler: dropping message to handlerless node " << node);
+    return;
+  }
+  const SimTime start = std::max(at, clocks_[node]);
+
+  in_handler_ = true;
+  current_node_ = node;
+  // Receive occupancy: the node spends virtual time ingesting the message.
+  extra_charge_ = latency_.recv_occupancy(msg.wire_size());
+  const SimTime cpu_before = thread_cpu_now();
+  handlers_[node](msg);
+  SimTime cost = extra_charge_;
+  if (cost_mode_ == CostMode::kMeasured) {
+    const SimTime measured = thread_cpu_now() - cpu_before;
+    cost += static_cast<SimTime>(std::llround(measured * cpu_scale_));
+  }
+  in_handler_ = false;
+  current_node_ = kNoNode;
+
+  clocks_[node] = start + cost;
+  flush_outbox(clocks_[node]);
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    // Advance the global clock *before* the event runs so handlers observe
+    // the current virtual time through now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+}
+
+std::string Scheduler::format_trace(std::size_t max_entries) const {
+  std::string out;
+  std::size_t count = 0;
+  for (const auto& e : trace_) {
+    if (count++ >= max_entries) {
+      out += "... (" + std::to_string(trace_.size() - max_entries) + " more)\n";
+      break;
+    }
+    out += format_time(e.at) + " " + std::to_string(e.from) + "->" +
+           std::to_string(e.to) + " " + e.topic + " (" + std::to_string(e.bytes) +
+           "B)\n";
+  }
+  return out;
+}
+
+bool Scheduler::run_some(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && !queue_.empty(); ++i) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+  return !queue_.empty();
+}
+
+}  // namespace dauct::sim

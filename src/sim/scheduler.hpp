@@ -1,0 +1,127 @@
+// Virtual-time network scheduler.
+//
+// Simulates an asynchronous message-passing system with reliable channels and
+// fair schedules (the paper's game-theoretic model, §3.3): every message sent
+// is eventually delivered, and every node is scheduled to move whenever it
+// has pending messages. Time is virtual:
+//
+//  * each node has a virtual clock;
+//  * delivering a message to node j starts a handler at
+//    max(delivery_time, clock[j]) — nodes process sequentially;
+//  * the handler's real CPU time is measured (CLOCK_THREAD_CPUTIME_ID) and
+//    charged to clock[j] (CostMode::kMeasured), or charged zero
+//    (CostMode::kZero, fully deterministic for logic tests);
+//  * messages sent during the handler depart at the handler's end time and
+//    arrive after a sampled link latency.
+//
+// Determinism: with CostMode::kZero, a run is a pure function of the seed
+// (events tie-break by sequence number). With kMeasured, timing varies with
+// host load but protocol correctness never depends on it — blocks wait for
+// complete rounds, not on timing.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "net/message.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
+
+namespace dauct::sim {
+
+enum class CostMode {
+  kMeasured,  ///< charge real handler CPU time (benchmarks)
+  kZero,      ///< charge nothing (deterministic logic tests)
+};
+
+/// Per-run traffic statistics.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One delivered message, for trace recording.
+struct TraceEntry {
+  SimTime at = 0;          ///< delivery time
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string topic;
+  std::size_t bytes = 0;
+};
+
+class Scheduler {
+ public:
+  using DeliverFn = std::function<void(const net::Message&)>;
+
+  /// `num_nodes` includes any client nodes beyond the providers.
+  Scheduler(std::size_t num_nodes, LatencyModel latency, std::uint64_t seed,
+            CostMode cost_mode = CostMode::kZero);
+
+  /// Install the message handler of `node`.
+  void set_deliver(NodeId node, DeliverFn fn);
+
+  /// Send from within a handler: departs at the current handler's end time.
+  /// Also valid outside a handler (departs at the sender's current clock).
+  void send(net::Message msg);
+
+  /// Inject a message from the outside world at absolute virtual time `at`
+  /// (e.g. bidders submitting bids at t=0).
+  void inject(SimTime at, net::Message msg);
+
+  /// Charge extra virtual compute time to the node whose handler is running
+  /// (explicit cost-model hook; combinable with measured costs).
+  void charge(SimTime cost);
+
+  /// Run until no events remain.
+  void run();
+
+  /// Run at most `max_events` events; returns true if events remain.
+  bool run_some(std::uint64_t max_events);
+
+  SimTime clock(NodeId node) const { return clocks_.at(node); }
+  SimTime now() const { return now_; }
+  const TrafficStats& traffic() const { return traffic_; }
+
+  /// Scale factor applied to measured CPU time (calibration; default 1.0).
+  void set_cpu_scale(double scale) { cpu_scale_ = scale; }
+
+  /// Extra delay injection for adversarial-schedule tests: messages to/from
+  /// `node` get an extra fixed delay.
+  void set_node_delay(NodeId node, SimTime extra);
+
+  /// Record every delivery (off by default; costs memory ∝ messages).
+  void enable_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  /// Render the trace as "time from->to topic (bytes)" lines.
+  std::string format_trace(std::size_t max_entries = 100) const;
+
+ private:
+  void deliver(SimTime at, net::Message msg);
+  void flush_outbox(SimTime depart);
+
+  std::size_t num_nodes_;
+  LatencyModel latency_;
+  crypto::Rng rng_;
+  CostMode cost_mode_;
+  double cpu_scale_ = 1.0;
+
+  EventQueue queue_;
+  std::vector<SimTime> clocks_;
+  std::vector<DeliverFn> handlers_;
+  std::vector<SimTime> node_delay_;
+  SimTime now_ = kSimStart;
+
+  // Handler-execution context.
+  bool in_handler_ = false;
+  NodeId current_node_ = kNoNode;
+  SimTime extra_charge_ = 0;
+  std::vector<net::Message> outbox_;
+
+  TrafficStats traffic_;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace dauct::sim

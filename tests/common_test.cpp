@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/money.hpp"
+#include "common/outcome.hpp"
+
+namespace dauct {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(BytesView(data)), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);  // uppercase accepted
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(BytesView{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(BytesView(a), BytesView(b)));
+  EXPECT_FALSE(ct_equal(BytesView(a), BytesView(c)));
+  EXPECT_FALSE(ct_equal(BytesView(a), BytesView(d)));
+}
+
+TEST(Bytes, StringConversions) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(BytesView(b)), "hello");
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1, 2};
+  const Bytes src = {3, 4};
+  append(dst, BytesView(src));
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Money, BasicArithmetic) {
+  const Money a = Money::from_units(3);
+  const Money b = Money::from_double(0.5);
+  EXPECT_EQ((a + b).micros(), 3'500'000);
+  EXPECT_EQ((a - b).micros(), 2'500'000);
+  EXPECT_EQ((-b).micros(), -500'000);
+}
+
+TEST(Money, MulIsUnitTimesPrice) {
+  const Money quantity = Money::from_double(2.5);
+  const Money price = Money::from_double(0.4);
+  EXPECT_EQ(quantity.mul(price), Money::from_double(1.0));
+}
+
+TEST(Money, MulTruncatesTowardZero) {
+  const Money a = Money::from_micros(1);  // 1e-6
+  const Money b = Money::from_micros(1);
+  EXPECT_EQ(a.mul(b).micros(), 0);  // 1e-12 truncates to 0
+}
+
+TEST(Money, MulLargeValuesUse128Bit) {
+  const Money big = Money::from_units(3'000'000);
+  EXPECT_EQ(big.mul(big), Money::from_units(9'000'000ll * 1'000'000ll));
+}
+
+TEST(Money, Div) {
+  EXPECT_EQ(Money::from_units(5).div(Money::from_units(2)), Money::from_double(2.5));
+  EXPECT_EQ(Money::from_units(1).div(Money::from_units(3)).micros(), 333'333);
+}
+
+TEST(Money, Ordering) {
+  EXPECT_LT(Money::from_double(0.1), Money::from_double(0.2));
+  EXPECT_EQ(min(Money::from_units(1), Money::from_units(2)), Money::from_units(1));
+  EXPECT_EQ(max(Money::from_units(1), Money::from_units(2)), Money::from_units(2));
+}
+
+TEST(Money, Str) {
+  EXPECT_EQ(Money::from_double(1.25).str(), "1.250000");
+  EXPECT_EQ(Money::from_micros(-500'000).str(), "-0.500000");
+  EXPECT_EQ(kZeroMoney.str(), "0.000000");
+}
+
+TEST(Money, FromDoubleRounds) {
+  EXPECT_EQ(Money::from_double(0.1234567).micros(), 123'457);
+}
+
+TEST(Outcome, ValueAndBottom) {
+  Outcome<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.opt(), 7);
+
+  Outcome<int> bad(Bottom{AbortReason::kEquivocationDetected, "x"});
+  EXPECT_TRUE(bad.is_bottom());
+  EXPECT_EQ(bad.bottom().reason, AbortReason::kEquivocationDetected);
+  EXPECT_EQ(bad.opt(), std::nullopt);
+}
+
+TEST(Outcome, ReasonNames) {
+  EXPECT_STREQ(abort_reason_name(AbortReason::kInputMismatch), "input-mismatch");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace dauct

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/commitment.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dauct::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes = exactly one block; exercises the rem==56..63 padding path too.
+  const std::string s64(64, 'x');
+  const std::string s55(55, 'x');
+  const std::string s56(56, 'x');
+  // Incremental == one-shot across boundaries.
+  for (const auto& s : {s64, s55, s56}) {
+    Sha256 inc;
+    inc.update(std::string_view(s).substr(0, 13));
+    inc.update(std::string_view(s).substr(13));
+    EXPECT_EQ(inc.finish(), sha256(s)) << s.size();
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShotRandomSplits) {
+  Rng rng(7);
+  Bytes data(997);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Digest expect = sha256(BytesView(data));
+  for (int trial = 0; trial < 20; ++trial) {
+    Sha256 h;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(data.size() - pos, rng.next_below(200) + 1);
+      h.update(BytesView(data.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.finish(), expect);
+  }
+}
+
+TEST(Sha256, ResetReusable) {
+  Sha256 h;
+  h.update("abc");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(digest_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest d = hmac_sha256(BytesView(key), BytesView(to_bytes("Hi There")));
+  EXPECT_EQ(digest_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  const Digest d =
+      hmac_sha256(BytesView(key), BytesView(to_bytes("what do ya want for nothing?")));
+  EXPECT_EQ(digest_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Digest d = hmac_sha256(
+      BytesView(key),
+      BytesView(to_bytes("Test Using Larger Than Block-Size Key - Hash Key First")));
+  EXPECT_EQ(digest_hex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DeriveTagDomainSeparation) {
+  const Digest a = derive_tag({"coin", "instance-1"});
+  const Digest b = derive_tag({"coin", "instance-2"});
+  const Digest c = derive_tag({"coininstance-1"});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_tag({"coin", "instance-1"}));  // deterministic
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Rng, MoneyRangeInclusive) {
+  Rng rng(11);
+  const Money lo = Money::from_double(0.75), hi = Money::from_double(1.25);
+  for (int i = 0; i < 1000; ++i) {
+    const Money v = rng.next_money(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+TEST(Rng, MoneyPositiveExcludesZero) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.next_money_positive(Money::from_units(1)), kZeroMoney);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);  // mean 1/λ
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(21);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  Rng a2(21);
+  Rng f1b = a2.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Commitment, OpensCorrectly) {
+  Rng rng(31);
+  const Digest tag = derive_tag({"test"});
+  auto [c, o] = commit(tag, 0xdeadbeef, rng);
+  EXPECT_TRUE(verify(tag, c, o));
+}
+
+TEST(Commitment, RejectsWrongValue) {
+  Rng rng(31);
+  const Digest tag = derive_tag({"test"});
+  auto [c, o] = commit(tag, 42, rng);
+  Opening forged = o;
+  forged.value = 43;
+  EXPECT_FALSE(verify(tag, c, forged));
+}
+
+TEST(Commitment, RejectsWrongNonce) {
+  Rng rng(31);
+  const Digest tag = derive_tag({"test"});
+  auto [c, o] = commit(tag, 42, rng);
+  Opening forged = o;
+  forged.nonce[0] ^= 1;
+  EXPECT_FALSE(verify(tag, c, forged));
+}
+
+TEST(Commitment, TagBindsInstance) {
+  Rng rng(31);
+  auto [c, o] = commit(derive_tag({"coin/1"}), 42, rng);
+  EXPECT_FALSE(verify(derive_tag({"coin/2"}), c, o));
+}
+
+TEST(Commitment, HidingNoncesDiffer) {
+  Rng rng(31);
+  const Digest tag = derive_tag({"t"});
+  auto [c1, o1] = commit(tag, 42, rng);
+  auto [c2, o2] = commit(tag, 42, rng);
+  EXPECT_NE(c1.digest, c2.digest);  // same value, different blinding
+}
+
+}  // namespace
+}  // namespace dauct::crypto

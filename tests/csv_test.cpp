@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "auction/double_auction.hpp"
+#include "serde/csv.hpp"
+#include "test_util.hpp"
+
+namespace dauct::serde {
+namespace {
+
+TEST(Csv, SplitBasics) {
+  EXPECT_EQ(csv_split("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_split(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(csv_split("x,"), (std::vector<std::string>{"x", ""}));
+  EXPECT_EQ(csv_split("1,2\r"), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, ParseMoneyAcceptsDecimals) {
+  EXPECT_EQ(parse_money("1.25"), Money::from_double(1.25));
+  EXPECT_EQ(parse_money("0.000001"), Money::from_micros(1));
+  EXPECT_EQ(parse_money("42"), Money::from_units(42));
+  EXPECT_EQ(parse_money("-3.5"), Money::from_double(-3.5));
+  EXPECT_EQ(parse_money("1.2345678"), Money::from_micros(1'234'567));  // truncates
+}
+
+TEST(Csv, ParseMoneyRejectsGarbage) {
+  EXPECT_FALSE(parse_money(""));
+  EXPECT_FALSE(parse_money("abc"));
+  EXPECT_FALSE(parse_money("1.2.3"));
+  EXPECT_FALSE(parse_money("1e5"));
+  EXPECT_FALSE(parse_money("-"));
+  EXPECT_FALSE(parse_money("12,5"));
+  EXPECT_FALSE(parse_money("99999999999999999999"));  // overflow
+}
+
+TEST(Csv, BidsRoundTrip) {
+  std::vector<auction::Bid> bids = {
+      {0, Money::from_double(1.25), Money::from_double(0.5)},
+      {1, Money::from_double(0.75), Money::from_units(1)},
+  };
+  const auto parsed = parse_bids_csv(bids_to_csv(bids));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(*parsed.value, bids);
+}
+
+TEST(Csv, AsksRoundTrip) {
+  std::vector<auction::Ask> asks = {
+      {0, Money::from_double(0.2), Money::from_units(3)},
+      {7, Money::from_double(0.9), Money::from_double(1.5)},
+  };
+  const auto parsed = parse_asks_csv(asks_to_csv(asks));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(*parsed.value, asks);
+}
+
+TEST(Csv, RejectsWrongHeader) {
+  EXPECT_FALSE(parse_bids_csv("id,value,demand\n1,1,1\n").ok());
+  EXPECT_FALSE(parse_asks_csv("bidder,unit_value,demand\n1,1,1\n").ok());
+}
+
+TEST(Csv, RejectsMalformedRows) {
+  const auto r1 = parse_bids_csv("bidder,unit_value,demand\n1,1.0\n");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_bids_csv("bidder,unit_value,demand\nx,1.0,0.5\n").ok());
+  EXPECT_FALSE(parse_bids_csv("bidder,unit_value,demand\n1,cat,0.5\n").ok());
+}
+
+TEST(Csv, EmptyFileRejected) {
+  EXPECT_FALSE(parse_bids_csv("").ok());
+  EXPECT_FALSE(parse_asks_csv("\n\n").ok());
+}
+
+TEST(Csv, HeaderOnlyIsEmptyMarket) {
+  const auto parsed = parse_bids_csv("bidder,unit_value,demand\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value->empty());
+}
+
+TEST(Csv, ResultExport) {
+  const auto instance = testutil::make_instance(6, 3, 5);
+  const auto result = auction::run_double_auction(instance);
+  const std::string csv = result_to_csv(instance, result);
+  EXPECT_NE(csv.find("bidder,provider,amount,payment"), std::string::npos);
+  EXPECT_NE(csv.find("provider,revenue"), std::string::npos);
+  // One row per allocation entry + per provider + two headers.
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, result.allocation.entries().size() + instance.asks.size() + 2);
+}
+
+TEST(Csv, WindowsLineEndingsAccepted) {
+  const auto parsed =
+      parse_bids_csv("bidder,unit_value,demand\r\n0,1.0,0.5\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.value->size(), 1u);
+  EXPECT_EQ((*parsed.value)[0].unit_value, Money::from_units(1));
+}
+
+}  // namespace
+}  // namespace dauct::serde

@@ -1,0 +1,152 @@
+// Empirical k-resilience (Definition 2): for every strategy in the deviation
+// library, a coalition of size ≤ k gains nothing — its utility under
+// deviation never exceeds the honest baseline (detection collapses the run
+// to ⊥, whose utility is 0; solution preference makes that a loss whenever
+// the honest outcome pays anything).
+#include <gtest/gtest.h>
+
+#include "adversary/resilience_harness.hpp"
+#include "core/adapters.hpp"
+#include "test_util.hpp"
+
+namespace dauct::adversary {
+namespace {
+
+core::DistributedAuctioneer double_auctioneer(std::size_t m, std::size_t k,
+                                              std::size_t n) {
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = k;
+  spec.num_bidders = n;
+  return core::DistributedAuctioneer(spec,
+                                     std::make_shared<core::DoubleAuctionAdapter>());
+}
+
+struct StrategyCase {
+  std::string label;
+  std::function<std::shared_ptr<DeviationStrategy>(std::vector<NodeId>)> make;
+  bool expect_abort;  ///< detection collapses the run to ⊥
+};
+
+std::vector<StrategyCase> strategy_library() {
+  // Note: forge-task-results is exercised against the *standard* auction in
+  // its own test below — the double auction's task graph has no data
+  // transfers, so that strategy is a no-op here.
+  return {
+      {"corrupt-coin-reveal",
+       [](std::vector<NodeId>) { return corrupt_coin_reveal(); }, true},
+      {"equivocate-votes", [](std::vector<NodeId>) { return equivocate_votes(); },
+       true},
+      {"forge-output-digest",
+       [](std::vector<NodeId> c) { return forge_output_digest(std::move(c)); }, true},
+  };
+}
+
+class Resilience : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Resilience, NoStrategyGainsForSingletonCoalition) {
+  const auto instance = testutil::make_instance(16, 5, GetParam());
+  const auto auctioneer = double_auctioneer(5, 1, 16);
+  runtime::SimRunConfig cfg;
+  cfg.seed = GetParam() * 31 + 1;
+
+  for (const auto& sc : strategy_library()) {
+    const std::vector<NodeId> coalition = {1};
+    const auto report = measure_deviation(auctioneer, instance, cfg, coalition,
+                                          sc.make(coalition));
+    EXPECT_TRUE(report.honest_ok) << sc.label;
+    EXPECT_FALSE(report.gained())
+        << sc.label << ": honest=" << report.honest_utility.str()
+        << " deviant=" << report.deviant_utility.str();
+    if (sc.expect_abort) {
+      EXPECT_FALSE(report.deviant_ok) << sc.label << " went undetected";
+      EXPECT_EQ(report.deviant_utility, kZeroMoney) << sc.label;
+    }
+  }
+}
+
+TEST_P(Resilience, NoStrategyGainsForCoalitionOfK) {
+  // m = 8, k = 3: the largest coalition the paper's deployment tolerates.
+  const auto instance = testutil::make_instance(20, 8, GetParam() ^ 0xc0ffeeu);
+  const auto auctioneer = double_auctioneer(8, 3, 20);
+  runtime::SimRunConfig cfg;
+  cfg.seed = GetParam() * 17 + 3;
+
+  const std::vector<NodeId> coalition = {2, 4, 7};
+  for (const auto& sc : strategy_library()) {
+    const auto report = measure_deviation(auctioneer, instance, cfg, coalition,
+                                          sc.make(coalition));
+    EXPECT_FALSE(report.gained()) << sc.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Resilience, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Resilience, ForgedTaskResultGainsNothingInStandardAuction) {
+  // The standard auction ships payment chunks between provider groups; a
+  // coalition member forging its copy is detected by the receivers.
+  core::AuctioneerSpec spec;
+  spec.m = 5;
+  spec.k = 1;
+  spec.num_bidders = 8;
+  auction::StandardAuctionParams params;
+  params.use_exact = true;
+  const core::DistributedAuctioneer auctioneer(
+      spec, std::make_shared<core::StandardAuctionAdapter>(params));
+  const auto instance = testutil::make_instance(8, 5, 55, /*standard=*/true);
+  runtime::SimRunConfig cfg;
+  cfg.seed = 23;
+  const std::vector<NodeId> coalition = {1};
+  const auto report = measure_deviation(auctioneer, instance, cfg, coalition,
+                                        forge_task_results(coalition));
+  EXPECT_TRUE(report.honest_ok);
+  EXPECT_FALSE(report.deviant_ok);
+  EXPECT_FALSE(report.gained());
+}
+
+TEST(Resilience, SelectiveSilenceOnlyStallsToBottom) {
+  const auto instance = testutil::make_instance(12, 5, 77);
+  const auto auctioneer = double_auctioneer(5, 1, 12);
+  runtime::SimRunConfig cfg;
+  cfg.seed = 5;
+  const std::vector<NodeId> coalition = {3};
+  const auto report = measure_deviation(auctioneer, instance, cfg, coalition,
+                                        selective_silence(coalition));
+  EXPECT_TRUE(report.honest_ok);
+  EXPECT_FALSE(report.deviant_ok);   // the run cannot complete
+  EXPECT_FALSE(report.gained());     // silence earns nothing
+}
+
+TEST(Resilience, MisreportedAskDoesNotPay) {
+  // Provider-input truthfulness: a provider understating its cost to win
+  // more trade volume does not increase its *true* utility (McAfee pricing).
+  const auto instance = testutil::make_instance(24, 5, 91);
+  const auto auctioneer = double_auctioneer(5, 1, 24);
+  runtime::SimRunConfig cfg;
+  cfg.seed = 11;
+  for (NodeId j = 0; j < 5; ++j) {
+    const std::vector<NodeId> coalition = {j};
+    const auto report = measure_deviation(auctioneer, instance, cfg, coalition,
+                                          misreport_ask(Money::from_micros(1)));
+    // Micro-unit tolerance for fixed-point rounding.
+    EXPECT_LE(report.deviant_utility.micros(),
+              report.honest_utility.micros() + 10)
+        << "provider " << j;
+  }
+}
+
+TEST(Resilience, HonestControlArmIsNeutral) {
+  const auto instance = testutil::make_instance(10, 4, 99);
+  const auto auctioneer = double_auctioneer(4, 1, 10);
+  runtime::SimRunConfig cfg;
+  cfg.seed = 13;
+  const std::vector<NodeId> coalition = {0};
+  const auto report =
+      measure_deviation(auctioneer, instance, cfg, coalition, honest_provider());
+  EXPECT_TRUE(report.honest_ok);
+  EXPECT_TRUE(report.deviant_ok);
+  EXPECT_EQ(report.honest_utility, report.deviant_utility);
+}
+
+}  // namespace
+}  // namespace dauct::adversary

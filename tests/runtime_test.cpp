@@ -1,0 +1,128 @@
+// The threaded and TCP runtimes execute the same engines as the virtual-time
+// simulator; these tests check the concurrency plumbing end to end.
+#include <gtest/gtest.h>
+
+#include "auction/double_auction.hpp"
+#include "core/adapters.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/tcp_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "test_util.hpp"
+
+namespace dauct::runtime {
+namespace {
+
+core::DistributedAuctioneer make_double(std::size_t m, std::size_t k, std::size_t n) {
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = k;
+  spec.num_bidders = n;
+  return core::DistributedAuctioneer(spec,
+                                     std::make_shared<core::DoubleAuctionAdapter>());
+}
+
+TEST(Frame, RoundTrip) {
+  net::Message msg{3, 7, "alloc/dt/1/val", Bytes{1, 2, 3, 4, 5}};
+  const Bytes frame = net::encode_frame(msg);
+  const auto decoded = net::decode_frame(BytesView(frame));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->consumed, frame.size());
+  EXPECT_EQ(decoded->message.from, 3u);
+  EXPECT_EQ(decoded->message.to, 7u);
+  EXPECT_EQ(decoded->message.topic, "alloc/dt/1/val");
+  EXPECT_EQ(decoded->message.payload, msg.payload);
+}
+
+TEST(Frame, PartialFrameNeedsMoreBytes) {
+  net::Message msg{1, 2, "topic", Bytes{9, 9}};
+  Bytes frame = net::encode_frame(msg);
+  frame.pop_back();
+  EXPECT_FALSE(net::decode_frame(BytesView(frame)));
+  EXPECT_FALSE(net::decode_frame(BytesView(frame.data(), 3)));
+}
+
+TEST(Frame, OversizedFrameRejected) {
+  Bytes bad = {0xff, 0xff, 0xff, 0xff};  // 4 GiB body length
+  EXPECT_THROW(net::decode_frame(BytesView(bad)), std::length_error);
+}
+
+TEST(Mailbox, PushPopClose) {
+  net::Mailbox mb;
+  EXPECT_TRUE(mb.push(net::Message{0, 1, "a", {}}));
+  EXPECT_TRUE(mb.push(net::Message{0, 1, "b", {}}));
+  EXPECT_EQ(mb.size(), 2u);
+  EXPECT_EQ(mb.pop()->topic, "a");
+  mb.close();
+  EXPECT_FALSE(mb.push(net::Message{0, 1, "c", {}}));  // refused
+  EXPECT_EQ(mb.pop()->topic, "b");                      // drained
+  EXPECT_FALSE(mb.pop());                               // closed + empty
+}
+
+TEST(Mailbox, PopForTimesOut) {
+  net::Mailbox mb;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mb.pop_for(std::chrono::milliseconds(30)));
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(ThreadRuntime, MatchesReferenceResult) {
+  const auto instance = testutil::make_instance(15, 4, 5);
+  const auto auctioneer = make_double(4, 1, 15);
+  ThreadRunConfig cfg;
+  const auto run = ThreadRuntime(cfg).run_distributed(auctioneer, instance);
+  ASSERT_FALSE(run.timed_out);
+  ASSERT_TRUE(run.global_outcome.ok())
+      << abort_reason_name(run.global_outcome.bottom().reason);
+  EXPECT_EQ(run.global_outcome.value(), auction::run_double_auction(instance));
+}
+
+TEST(ThreadRuntime, DetectsDeviationsUnderConcurrency) {
+  const auto instance = testutil::make_instance(10, 5, 7);
+  const auto auctioneer = make_double(5, 2, 10);
+  ThreadRunConfig cfg;
+  cfg.deviations[2] = adversary::corrupt_coin_reveal();
+  const auto run = ThreadRuntime(cfg).run_distributed(auctioneer, instance);
+  EXPECT_TRUE(run.global_outcome.is_bottom());
+}
+
+TEST(ThreadRuntime, RepeatedRunsStable) {
+  const auto instance = testutil::make_instance(8, 3, 9);
+  const auto auctioneer = make_double(3, 1, 8);
+  const auto reference = auction::run_double_auction(instance);
+  for (int round = 0; round < 5; ++round) {
+    ThreadRunConfig cfg;
+    cfg.seed = round + 1;
+    const auto run = ThreadRuntime(cfg).run_distributed(auctioneer, instance);
+    ASSERT_TRUE(run.global_outcome.ok()) << "round " << round;
+    EXPECT_EQ(run.global_outcome.value(), reference) << "round " << round;
+  }
+}
+
+TEST(TcpRuntime, FullProtocolOverRealSockets) {
+  const auto instance = testutil::make_instance(10, 3, 21);
+  const auto auctioneer = make_double(3, 1, 10);
+  TcpRunConfig cfg;
+  const auto run = TcpRuntime(cfg).run_distributed(auctioneer, instance);
+  ASSERT_FALSE(run.timed_out) << "tcp run stalled";
+  ASSERT_TRUE(run.global_outcome.ok())
+      << abort_reason_name(run.global_outcome.bottom().reason);
+  EXPECT_EQ(run.global_outcome.value(), auction::run_double_auction(instance));
+}
+
+TEST(TcpNode, DirectSendReceive) {
+  net::TcpPeers peers;
+  peers.base_port = net::pick_base_port(4);
+  net::TcpNode a(0, peers);
+  net::TcpNode b(1, peers);
+  ASSERT_TRUE(a.send(net::Message{0, 1, "hello", Bytes{1, 2, 3}}));
+  const auto msg = b.inbox().pop_for(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(msg->topic, "hello");
+  EXPECT_EQ(msg->payload, (Bytes{1, 2, 3}));
+  a.shutdown();
+  b.shutdown();
+}
+
+}  // namespace
+}  // namespace dauct::runtime

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/adapters.hpp"
+#include "core/task_graph.hpp"
+
+namespace dauct::core {
+namespace {
+
+TaskFn noop() {
+  return [](const std::vector<Bytes>&, const TaskContext&) { return Bytes{}; };
+}
+
+std::vector<NodeId> nodes(std::initializer_list<NodeId> ids) { return ids; }
+
+TEST(TaskGraph, ValidGraphPasses) {
+  TaskGraph g;
+  g.add_task({0, "t1", {}, nodes({0, 1, 2, 3}), noop()});
+  g.add_task({1, "t2a", {0}, nodes({0, 1}), noop()});
+  g.add_task({2, "t2b", {0}, nodes({2, 3}), noop()});
+  g.add_task({3, "t3", {0, 1, 2}, nodes({0, 1, 2, 3}), noop()});
+  EXPECT_EQ(g.validate(4, 1), std::nullopt);
+  EXPECT_EQ(g.sink(), 3u);
+}
+
+TEST(TaskGraph, RecipientsAreDependentExecutors) {
+  TaskGraph g;
+  g.add_task({0, "t1", {}, nodes({0, 1, 2, 3}), noop()});
+  g.add_task({1, "t2", {0}, nodes({0, 1}), noop()});
+  g.add_task({2, "t3", {0, 1}, nodes({0, 1, 2, 3}), noop()});
+  ASSERT_EQ(g.validate(4, 1), std::nullopt);
+  // Task 1's result is consumed by the sink (all providers).
+  EXPECT_EQ(g.recipients(1), nodes({0, 1, 2, 3}));
+  EXPECT_TRUE(g.needs_transfer(1));   // providers 2,3 did not execute it
+  EXPECT_FALSE(g.needs_transfer(0));  // everyone executed task 0
+  EXPECT_FALSE(g.needs_transfer(2));  // the sink has no recipients
+}
+
+TEST(TaskGraph, RejectsTooFewExecutors) {
+  TaskGraph g;
+  g.add_task({0, "t", {}, nodes({0}), noop()});
+  EXPECT_NE(g.validate(3, 1), std::nullopt);  // needs k+1 = 2
+}
+
+TEST(TaskGraph, RejectsMultipleSinks) {
+  TaskGraph g;
+  g.add_task({0, "a", {}, nodes({0, 1, 2}), noop()});
+  g.add_task({1, "b", {}, nodes({0, 1, 2}), noop()});
+  EXPECT_NE(g.validate(3, 1), std::nullopt);
+}
+
+TEST(TaskGraph, RejectsSinkNotExecutedByAll) {
+  TaskGraph g;
+  g.add_task({0, "a", {}, nodes({0, 1, 2}), noop()});
+  g.add_task({1, "b", {0}, nodes({0, 1}), noop()});
+  EXPECT_NE(g.validate(3, 1), std::nullopt);
+}
+
+TEST(TaskGraph, RejectsForwardDependency) {
+  TaskGraph g;
+  g.add_task({0, "a", {1}, nodes({0, 1}), noop()});
+  g.add_task({1, "b", {}, nodes({0, 1}), noop()});
+  EXPECT_NE(g.validate(2, 0), std::nullopt);
+}
+
+TEST(TaskGraph, RejectsOutOfRangeExecutor) {
+  TaskGraph g;
+  g.add_task({0, "a", {}, nodes({0, 5}), noop()});
+  EXPECT_NE(g.validate(3, 1), std::nullopt);
+}
+
+TEST(TaskGraph, RejectsEmptyGraphAndMissingCompute) {
+  TaskGraph empty;
+  EXPECT_NE(empty.validate(3, 1), std::nullopt);
+
+  TaskGraph no_fn;
+  no_fn.add_task({0, "a", {}, nodes({0, 1}), nullptr});
+  EXPECT_NE(no_fn.validate(3, 1), std::nullopt);
+}
+
+TEST(Groups, MaxParallelism) {
+  EXPECT_EQ(max_parallelism(8, 1), 4u);
+  EXPECT_EQ(max_parallelism(8, 3), 2u);
+  EXPECT_EQ(max_parallelism(8, 7), 1u);
+  EXPECT_EQ(max_parallelism(3, 1), 1u);
+}
+
+TEST(Groups, PartitionCoversAllProviders) {
+  for (std::size_t m : {3u, 5u, 8u, 13u}) {
+    for (std::size_t k : {1u, 2u, 3u}) {
+      if (m <= 2 * k) continue;
+      const std::size_t c = max_parallelism(m, k);
+      const auto groups = assign_groups(m, k, c);
+      ASSERT_EQ(groups.size(), c);
+      std::vector<NodeId> all;
+      for (const auto& g : groups) {
+        EXPECT_GE(g.size(), k + 1) << "m=" << m << " k=" << k;
+        all.insert(all.end(), g.begin(), g.end());
+      }
+      std::sort(all.begin(), all.end());
+      std::vector<NodeId> expect(m);
+      std::iota(expect.begin(), expect.end(), 0);
+      EXPECT_EQ(all, expect);
+    }
+  }
+}
+
+TEST(Adapters, DoubleAuctionGraphShape) {
+  DoubleAuctionAdapter adapter;
+  TaskGraph g = adapter.build(10, 8, 3);
+  ASSERT_EQ(g.validate(8, 3), std::nullopt);
+  EXPECT_EQ(g.size(), 1u);  // single non-parallelisable task
+  EXPECT_FALSE(g.needs_transfer(0));
+}
+
+TEST(Adapters, StandardAuctionGraphShape) {
+  auction::StandardAuctionParams params;
+  params.use_exact = true;
+  StandardAuctionAdapter adapter(params);
+  // m=8, k=1 → c=4 payment groups → 1 + 4 + 1 tasks.
+  TaskGraph g = adapter.build(20, 8, 1);
+  ASSERT_EQ(g.validate(8, 1), std::nullopt);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.sink(), 5u);
+  for (TaskId t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(g.needs_transfer(t)) << t;  // payment chunks ship to all
+    EXPECT_GE(g.task(t).executors.size(), 2u);
+  }
+}
+
+TEST(Adapters, StandardAuctionExplicitGroupCount) {
+  auction::StandardAuctionParams params;
+  StandardAuctionAdapter adapter(params, /*groups=*/2);
+  TaskGraph g = adapter.build(10, 8, 1);
+  ASSERT_EQ(g.validate(8, 1), std::nullopt);
+  EXPECT_EQ(g.size(), 4u);  // T1 + 2 payment groups + T3
+}
+
+}  // namespace
+}  // namespace dauct::core

@@ -1,0 +1,53 @@
+// Shared test helpers: a deterministic local network for driving protocol
+// blocks without a full runtime, plus instance factories.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "auction/types.hpp"
+#include "auction/workload.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dauct::testutil {
+
+/// m providers wired through a zero-latency deterministic scheduler.
+/// Install a handler per node, call start() on blocks, then run().
+class LocalNet {
+ public:
+  explicit LocalNet(std::size_t m, std::uint64_t seed = 42,
+                    sim::LatencyModel latency = sim::LatencyModel::zero())
+      : scheduler_(m, latency, seed, sim::CostMode::kZero) {
+    for (NodeId j = 0; j < m; ++j) {
+      endpoints_.push_back(
+          std::make_unique<net::SimEndpoint>(scheduler_, j, m, seed * 1000 + j));
+    }
+  }
+
+  blocks::Endpoint& endpoint(NodeId j) { return *endpoints_.at(j); }
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+  void set_handler(NodeId j, std::function<void(const net::Message&)> fn) {
+    scheduler_.set_deliver(j, std::move(fn));
+  }
+
+  void run() { scheduler_.run(); }
+
+ private:
+  sim::Scheduler scheduler_;
+  std::vector<std::unique_ptr<net::SimEndpoint>> endpoints_;
+};
+
+/// Small deterministic instance: n users, m providers, paper distributions.
+inline auction::AuctionInstance make_instance(std::size_t n, std::size_t m,
+                                              std::uint64_t seed,
+                                              bool standard = false) {
+  crypto::Rng rng(seed);
+  const auto params = standard ? auction::standard_auction_workload(n, m)
+                               : auction::double_auction_workload(n, m);
+  return auction::generate(params, rng);
+}
+
+}  // namespace dauct::testutil

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "auction/workload.hpp"
+
+namespace dauct::auction {
+namespace {
+
+TEST(Workload, PaperDistributionsRespected) {
+  crypto::Rng rng(1);
+  const AuctionInstance inst = generate(double_auction_workload(500, 8), rng);
+  ASSERT_EQ(inst.bids.size(), 500u);
+  ASSERT_EQ(inst.asks.size(), 8u);
+  for (const auto& b : inst.bids) {
+    // §6.2: bids ~ U[0.75, 1.25]; demand ~ U(0, 1].
+    EXPECT_GE(b.unit_value, Money::from_double(0.75));
+    EXPECT_LE(b.unit_value, Money::from_double(1.25));
+    EXPECT_GT(b.demand, kZeroMoney);
+    EXPECT_LE(b.demand, Money::from_units(1));
+  }
+  for (const auto& a : inst.asks) {
+    EXPECT_GT(a.unit_cost, kZeroMoney);
+    EXPECT_LE(a.unit_cost, Money::from_units(1));
+    EXPECT_GE(a.capacity, kZeroMoney);
+  }
+}
+
+TEST(Workload, DoubleAuctionCapacityAroundDemand) {
+  crypto::Rng rng(2);
+  const AuctionInstance inst = generate(double_auction_workload(400, 8), rng);
+  Money demand, capacity;
+  for (const auto& b : inst.bids) demand += b.demand;
+  for (const auto& a : inst.asks) capacity += a.capacity;
+  // Capacity factors ~ U[0.5, 1.5] of the per-provider share: total capacity
+  // lands near total demand.
+  EXPECT_GT(capacity, demand.mul(Money::from_double(0.5)));
+  EXPECT_LT(capacity, demand.mul(Money::from_double(1.5)));
+}
+
+TEST(Workload, StandardAuctionScarceCapacity) {
+  crypto::Rng rng(3);
+  const AuctionInstance inst = generate(standard_auction_workload(400, 8), rng);
+  Money demand, capacity;
+  for (const auto& b : inst.bids) demand += b.demand;
+  for (const auto& a : inst.asks) capacity += a.capacity;
+  // §6.3: factors U[0, 0.25] → "roughly no more than a quarter of the users
+  // win the bids".
+  EXPECT_LT(capacity, demand.mul(Money::from_double(0.3)));
+}
+
+TEST(Workload, DeterministicGivenRngState) {
+  crypto::Rng a(7), b(7);
+  const AuctionInstance x = generate(double_auction_workload(50, 4), a);
+  const AuctionInstance y = generate(double_auction_workload(50, 4), b);
+  EXPECT_EQ(x.bids, y.bids);
+  EXPECT_EQ(x.asks, y.asks);
+}
+
+TEST(Workload, BidderIdsAreDense) {
+  crypto::Rng rng(9);
+  const AuctionInstance inst = generate(double_auction_workload(30, 3), rng);
+  for (std::size_t i = 0; i < inst.bids.size(); ++i) {
+    EXPECT_EQ(inst.bids[i].bidder, i);
+  }
+  for (std::size_t j = 0; j < inst.asks.size(); ++j) {
+    EXPECT_EQ(inst.asks[j].provider, j);
+  }
+}
+
+}  // namespace
+}  // namespace dauct::auction

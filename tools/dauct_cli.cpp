@@ -1,0 +1,316 @@
+// dauct — command-line front end for the distributed auctioneer.
+//
+// Run an auction (synthetic workload or CSV market data) through the
+// distributed protocol or the trusted-auctioneer baseline, on the simulated,
+// threaded, or real-TCP runtime, and print the result as a report or CSV.
+//
+// Examples:
+//   dauct_cli --auction double --users 50 --providers 5 --k 2
+//   dauct_cli --auction standard --users 30 --providers 8 --k 1 --epsilon 0.1
+//   dauct_cli --bids bids.csv --asks asks.csv --k 1 --csv
+//   dauct_cli --auction double --users 20 --providers 4 --runtime tcp
+//   dauct_cli --auction double --users 20 --providers 4 --centralized
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "auction/workload.hpp"
+#include "core/adapters.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/tcp_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "serde/csv.hpp"
+
+namespace {
+
+using namespace dauct;
+
+struct Options {
+  std::string auction = "double";   // double | standard
+  std::string runtime = "sim";      // sim | thread | tcp
+  std::string latency = "community";  // zero | lan | community
+  std::string mode = "value";       // value | bits | perbit
+  std::size_t users = 20;
+  std::size_t providers = 5;
+  std::size_t k = 1;
+  double epsilon = 0.1;
+  std::uint64_t seed = 1;
+  std::string bids_file;
+  std::string asks_file;
+  bool centralized = false;
+  bool csv_output = false;
+  bool trace = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(R"(usage: dauct_cli [options]
+
+market (synthetic unless CSV files given):
+  --auction double|standard   mechanism (default double)
+  --users N                   number of bidders (default 20)
+  --providers M               number of providers (default 5; must be > 2k)
+  --seed S                    workload + protocol seed (default 1)
+  --bids FILE.csv             bids from CSV: bidder,unit_value,demand
+  --asks FILE.csv             asks from CSV: provider,unit_cost,capacity
+
+protocol:
+  --k K                       coalition resilience bound (default 1)
+  --epsilon E                 (1-eps) welfare approximation (standard auction)
+  --mode value|bits|perbit    bid agreement encoding (default value)
+  --centralized               run the trusted-auctioneer baseline instead
+
+execution:
+  --runtime sim|thread|tcp    runtime (default sim: virtual-time simulation)
+  --latency zero|lan|community  sim network model (default community)
+  --trace                     print the sim message trace (first 60 entries)
+
+output:
+  --csv                       machine-readable CSV instead of the report
+  --help                      this text
+)");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--centralized") {
+      opt.centralized = true;
+    } else if (arg == "--csv") {
+      opt.csv_output = true;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--auction") {
+      if (!(v = need_value(i))) return false;
+      opt.auction = v;
+    } else if (arg == "--runtime") {
+      if (!(v = need_value(i))) return false;
+      opt.runtime = v;
+    } else if (arg == "--latency") {
+      if (!(v = need_value(i))) return false;
+      opt.latency = v;
+    } else if (arg == "--mode") {
+      if (!(v = need_value(i))) return false;
+      opt.mode = v;
+    } else if (arg == "--users") {
+      if (!(v = need_value(i))) return false;
+      opt.users = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--providers") {
+      if (!(v = need_value(i))) return false;
+      opt.providers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--k") {
+      if (!(v = need_value(i))) return false;
+      opt.k = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--epsilon") {
+      if (!(v = need_value(i))) return false;
+      opt.epsilon = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      if (!(v = need_value(i))) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--bids") {
+      if (!(v = need_value(i))) return false;
+      opt.bids_file = v;
+    } else if (arg == "--asks") {
+      if (!(v = need_value(i))) return false;
+      opt.asks_file = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "dauct_cli: %s\n", message.c_str());
+  return 1;
+}
+
+void print_report(const auction::AuctionInstance& instance,
+                  const auction::AuctionResult& result) {
+  std::printf("%-8s %-11s %-11s %-12s %-11s\n", "user", "bid/unit", "demand",
+              "allocated", "pays");
+  for (const auto& bid : instance.bids) {
+    std::printf("u%-7u %-11s %-11s %-12s %-11s\n", bid.bidder,
+                bid.unit_value.str().c_str(), bid.demand.str().c_str(),
+                result.allocation.allocated_to(bid.bidder).str().c_str(),
+                result.payments.user_payments[bid.bidder].str().c_str());
+  }
+  std::printf("\n%-8s %-11s %-11s %-12s %-11s\n", "provider", "cost/unit",
+              "capacity", "sold", "receives");
+  for (const auto& ask : instance.asks) {
+    std::printf("p%-7u %-11s %-11s %-12s %-11s\n", ask.provider,
+                ask.unit_cost.str().c_str(), ask.capacity.str().c_str(),
+                result.allocation.allocated_at(ask.provider).str().c_str(),
+                result.payments.provider_revenues[ask.provider].str().c_str());
+  }
+  std::printf("\ntotals: paid %s, received %s\n",
+              result.payments.total_paid().str().c_str(),
+              result.payments.total_received().str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 1;
+  if (opt.help) {
+    print_usage();
+    return 0;
+  }
+
+  // --- Market -----------------------------------------------------------
+  auction::AuctionInstance instance;
+  if (!opt.bids_file.empty() || !opt.asks_file.empty()) {
+    if (opt.bids_file.empty() || opt.asks_file.empty()) {
+      return fail("--bids and --asks must be given together");
+    }
+    const auto bids_text = read_file(opt.bids_file);
+    if (!bids_text) return fail("cannot read " + opt.bids_file);
+    const auto asks_text = read_file(opt.asks_file);
+    if (!asks_text) return fail("cannot read " + opt.asks_file);
+    auto bids = serde::parse_bids_csv(*bids_text);
+    if (!bids.ok()) return fail(bids.error);
+    auto asks = serde::parse_asks_csv(*asks_text);
+    if (!asks.ok()) return fail(asks.error);
+    instance.bids = std::move(*bids.value);
+    instance.asks = std::move(*asks.value);
+    opt.users = instance.bids.size();
+    opt.providers = instance.asks.size();
+  } else {
+    crypto::Rng rng(opt.seed);
+    const auto params = opt.auction == "standard"
+                            ? auction::standard_auction_workload(opt.users, opt.providers)
+                            : auction::double_auction_workload(opt.users, opt.providers);
+    instance = auction::generate(params, rng);
+  }
+
+  // --- Mechanism ---------------------------------------------------------
+  std::shared_ptr<core::AuctionAdapter> adapter;
+  if (opt.auction == "double") {
+    adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  } else if (opt.auction == "standard") {
+    auction::StandardAuctionParams params;
+    params.epsilon = opt.epsilon;
+    adapter = std::make_shared<core::StandardAuctionAdapter>(params);
+  } else {
+    return fail("unknown --auction '" + opt.auction + "'");
+  }
+
+  if (opt.centralized) {
+    core::CentralizedAuctioneer trusted(adapter);
+    runtime::SimRunConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.cost_mode = sim::CostMode::kMeasured;
+    const auto run = runtime::SimRuntime(cfg).run_centralized(trusted, instance);
+    if (!run.global_outcome.ok()) return fail("centralized run did not complete");
+    std::printf("# trusted auctioneer, %s virtual\n",
+                sim::format_time(run.makespan).c_str());
+    if (opt.csv_output) {
+      std::fputs(serde::result_to_csv(instance, run.global_outcome.value()).c_str(),
+                 stdout);
+    } else {
+      print_report(instance, run.global_outcome.value());
+    }
+    return 0;
+  }
+
+  core::AuctioneerSpec spec;
+  spec.m = opt.providers;
+  spec.k = opt.k;
+  spec.num_bidders = instance.bids.size();
+  if (opt.mode == "bits") {
+    spec.agreement_mode = blocks::AgreementMode::kBitStream;
+  } else if (opt.mode == "perbit") {
+    spec.agreement_mode = blocks::AgreementMode::kPerBitMessages;
+  } else if (opt.mode != "value") {
+    return fail("unknown --mode '" + opt.mode + "'");
+  }
+
+  std::unique_ptr<core::DistributedAuctioneer> auctioneer;
+  try {
+    auctioneer = std::make_unique<core::DistributedAuctioneer>(spec, adapter);
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
+
+  // --- Execution ---------------------------------------------------------
+  auction::AuctionOutcome outcome{Bottom{}};
+  std::string timing;
+  if (opt.runtime == "sim") {
+    runtime::SimRunConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.cost_mode = sim::CostMode::kMeasured;
+    if (opt.latency == "zero") {
+      cfg.latency = sim::LatencyModel::zero();
+    } else if (opt.latency == "lan") {
+      cfg.latency = sim::LatencyModel::lan();
+    } else if (opt.latency != "community") {
+      return fail("unknown --latency '" + opt.latency + "'");
+    }
+    const auto run = runtime::SimRuntime(cfg).run_distributed(*auctioneer, instance);
+    outcome = run.global_outcome;
+    timing = sim::format_time(run.makespan) + " virtual, " +
+             std::to_string(run.traffic.messages) + " msgs, " +
+             std::to_string(run.traffic.bytes) + " bytes";
+    if (opt.trace) {
+      std::printf("# trace not recorded via CLI runtime API; phase times:\n");
+      std::printf("#   bid agreement done: %s; providers done: %s\n",
+                  sim::format_time(run.bid_agreement_makespan()).c_str(),
+                  sim::format_time(run.provider_makespan()).c_str());
+    }
+  } else if (opt.runtime == "thread") {
+    runtime::ThreadRunConfig cfg;
+    cfg.seed = opt.seed;
+    const auto run =
+        runtime::ThreadRuntime(cfg).run_distributed(*auctioneer, instance);
+    outcome = run.global_outcome;
+    timing = std::to_string(
+                 std::chrono::duration<double, std::milli>(run.wall_time).count()) +
+             " ms wall";
+  } else if (opt.runtime == "tcp") {
+    runtime::TcpRunConfig cfg;
+    cfg.seed = opt.seed;
+    const auto run = runtime::TcpRuntime(cfg).run_distributed(*auctioneer, instance);
+    outcome = run.global_outcome;
+    timing = std::to_string(
+                 std::chrono::duration<double, std::milli>(run.wall_time).count()) +
+             " ms wall over TCP ports " + std::to_string(run.base_port) + "..";
+  } else {
+    return fail("unknown --runtime '" + opt.runtime + "'");
+  }
+
+  if (!outcome.ok()) {
+    std::printf("outcome: \xE2\x8A\xA5 (%s) — auction aborted, no payments\n",
+                abort_reason_name(outcome.bottom().reason));
+    return 2;
+  }
+  std::printf("# distributed auctioneer: m=%zu k=%zu, %s\n", opt.providers, opt.k,
+              timing.c_str());
+  if (opt.csv_output) {
+    std::fputs(serde::result_to_csv(instance, outcome.value()).c_str(), stdout);
+  } else {
+    print_report(instance, outcome.value());
+  }
+  return 0;
+}
