@@ -1,0 +1,9 @@
+# ASan + UBSan toggle, applied globally so the library, tests, and tools all
+# agree on the runtime (mixing sanitized and unsanitized TUs breaks ODR
+# checking and container annotations).
+option(DAUCT_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+
+if(DAUCT_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()

@@ -1,0 +1,87 @@
+// End-to-end smoke test: a small double auction run through SimRuntime is
+// fully deterministic for a fixed seed — two independent runs produce
+// byte-identical allocations and payments and the same virtual makespan.
+#include <gtest/gtest.h>
+
+#include "core/adapters.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "serde/auction_codec.hpp"
+#include "test_util.hpp"
+
+namespace dauct {
+namespace {
+
+using core::AuctioneerSpec;
+using core::DistributedAuctioneer;
+using runtime::SimRunConfig;
+using runtime::SimRuntime;
+
+struct SmokeRun {
+  auction::AuctionInstance instance;
+  runtime::SimRunResult result;
+};
+
+SmokeRun run_once(std::uint64_t seed) {
+  AuctioneerSpec spec;
+  spec.m = 5;
+  spec.k = 2;
+  spec.num_bidders = 12;
+  DistributedAuctioneer auctioneer(spec,
+                                   std::make_shared<core::DoubleAuctionAdapter>());
+
+  auto instance = testutil::make_instance(spec.num_bidders, spec.m, seed);
+
+  SimRunConfig config;
+  config.seed = seed;
+  SimRuntime rt(config);
+  auto result = rt.run_distributed(auctioneer, instance);
+  return SmokeRun{std::move(instance), std::move(result)};
+}
+
+TEST(E2ESmoke, SameSeedByteIdenticalOutcome) {
+  const auto a = run_once(7).result;
+  const auto b = run_once(7).result;
+
+  ASSERT_TRUE(a.global_outcome.ok());
+  ASSERT_TRUE(b.global_outcome.ok());
+  EXPECT_FALSE(a.stalled);
+  EXPECT_FALSE(b.stalled);
+
+  // Byte-identical (x, p⃗): the canonical serialization must match exactly.
+  const Bytes bytes_a = serde::encode_result(a.global_outcome.value());
+  const Bytes bytes_b = serde::encode_result(b.global_outcome.value());
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  // Virtual time and traffic are pure functions of the seed too.
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.traffic.messages, b.traffic.messages);
+  EXPECT_EQ(a.traffic.bytes, b.traffic.bytes);
+  EXPECT_EQ(a.shared_seed, b.shared_seed);
+}
+
+TEST(E2ESmoke, OutcomeIsNonTrivialAndFeasible) {
+  const auto run = run_once(7);
+  ASSERT_TRUE(run.result.global_outcome.ok());
+  const auto& result = run.result.global_outcome.value();
+
+  EXPECT_FALSE(result.allocation.empty());
+  EXPECT_TRUE(result.allocation.is_canonical());
+  EXPECT_TRUE(result.payments.budget_balanced());
+  EXPECT_TRUE(auction::is_feasible(run.instance, result.allocation));
+}
+
+TEST(E2ESmoke, DifferentSeedsStillAgreeAcrossProviders) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto run = run_once(seed).result;
+    ASSERT_TRUE(run.global_outcome.ok()) << "seed " << seed;
+    for (const auto& outcome : run.provider_outcomes) {
+      ASSERT_TRUE(outcome.ok()) << "seed " << seed;
+      EXPECT_EQ(serde::encode_result(outcome.value()),
+                serde::encode_result(run.global_outcome.value()))
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dauct

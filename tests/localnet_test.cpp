@@ -1,0 +1,99 @@
+// Tests of the shared test fixture itself (tests/test_util.hpp): the
+// zero-latency LocalNet scheduler must deliver messages in a deterministic
+// order — for any seed, two identical runs observe the same delivery
+// sequence, and with LatencyModel::zero() all deliveries happen at t = 0.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace dauct {
+namespace {
+
+/// One observed delivery, flattened for comparison.
+struct Delivery {
+  NodeId at_node;
+  NodeId from;
+  std::string topic;
+  Bytes payload;
+
+  bool operator==(const Delivery&) const = default;
+};
+
+/// Drive a ring workload: every node, on receiving a "ring" message, forwards
+/// it to its successor with a decremented hop counter. Returns the exact
+/// delivery order observed across all nodes.
+std::vector<Delivery> run_ring(std::size_t m, std::uint64_t seed) {
+  testutil::LocalNet net(m, seed);
+  std::vector<Delivery> log;
+
+  for (NodeId j = 0; j < m; ++j) {
+    net.set_handler(j, [&, j](const net::Message& msg) {
+      log.push_back(Delivery{j, msg.from, msg.topic, msg.payload});
+      const std::uint8_t hops = msg.payload.empty() ? 0 : msg.payload.front();
+      if (hops == 0) return;
+      net::Message next;
+      next.from = j;
+      next.to = static_cast<NodeId>((j + 1) % m);
+      next.topic = msg.topic;
+      next.payload = Bytes{static_cast<std::uint8_t>(hops - 1)};
+      net.scheduler().send(next);
+    });
+  }
+
+  // Every node starts one token with m hops, all injected at t = 0.
+  for (NodeId j = 0; j < m; ++j) {
+    net::Message msg;
+    msg.from = j;
+    msg.to = static_cast<NodeId>((j + 1) % m);
+    msg.topic = "ring/" + std::to_string(j);
+    msg.payload = Bytes{static_cast<std::uint8_t>(m)};
+    net.scheduler().inject(sim::kSimStart, msg);
+  }
+
+  net.run();
+  return log;
+}
+
+TEST(LocalNet, DeliveryOrderDeterministicAcrossSeeds) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+    const auto first = run_ring(5, seed);
+    const auto second = run_ring(5, seed);
+    ASSERT_FALSE(first.empty()) << "seed " << seed;
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(LocalNet, AllTokensCompleteTheirHops) {
+  const std::size_t m = 4;
+  const auto log = run_ring(m, 42);
+  // m tokens, each delivered m + 1 times (initial hop + m forwards).
+  EXPECT_EQ(log.size(), m * (m + 1));
+}
+
+TEST(LocalNet, ZeroLatencyKeepsVirtualClocksAtStart) {
+  testutil::LocalNet net(3, 42);
+  int delivered = 0;
+  for (NodeId j = 0; j < 3; ++j) {
+    net.set_handler(j, [&](const net::Message&) { ++delivered; });
+  }
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.topic = "ping";
+  net.scheduler().inject(sim::kSimStart, msg);
+  net.run();
+
+  EXPECT_EQ(delivered, 1);
+  // Zero latency + CostMode::kZero: no virtual time may elapse anywhere.
+  EXPECT_EQ(net.scheduler().now(), sim::kSimStart);
+  for (NodeId j = 0; j < 3; ++j) {
+    EXPECT_EQ(net.scheduler().clock(j), sim::kSimStart);
+  }
+}
+
+}  // namespace
+}  // namespace dauct
