@@ -1,9 +1,10 @@
-// Ablation D: crypto & serde microbenchmarks (google-benchmark).
+// Ablation D: crypto & serde microbenchmarks (vendored tinybench harness —
+// no external benchmark library needed).
 //
 // The framework's per-message costs: SHA-256 (digest echoes, commitments,
 // validation), HMAC tag derivation, commitment create/verify, bid codec and
 // frame round trips, and the PRNG.
-#include <benchmark/benchmark.h>
+#include "tinybench.hpp"
 
 #include "auction/double_auction.hpp"
 #include "auction/workload.hpp"
@@ -18,78 +19,83 @@
 namespace {
 
 using namespace dauct;
+using tinybench::DoNotOptimize;
+using tinybench::State;
 
-void BM_Sha256(benchmark::State& state) {
+void BM_Sha256(State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::sha256(BytesView(data)));
+    DoNotOptimize(crypto::sha256(BytesView(data)));
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+TINYBENCH(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
 
-void BM_HmacTagDerivation(benchmark::State& state) {
+void BM_HmacTagDerivation(State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::derive_tag({"dauct/common-coin", "alloc/coin"}));
+    DoNotOptimize(crypto::derive_tag({"dauct/common-coin", "alloc/coin"}));
   }
 }
-BENCHMARK(BM_HmacTagDerivation);
+TINYBENCH(BM_HmacTagDerivation);
 
-void BM_CommitAndVerify(benchmark::State& state) {
+void BM_CommitAndVerify(State& state) {
   crypto::Rng rng(1);
   const crypto::Digest tag = crypto::derive_tag({"bench"});
   for (auto _ : state) {
     auto [c, o] = crypto::commit(tag, rng.next_u64(), rng);
-    benchmark::DoNotOptimize(crypto::verify(tag, c, o));
+    DoNotOptimize(crypto::verify(tag, c, o));
   }
 }
-BENCHMARK(BM_CommitAndVerify);
+TINYBENCH(BM_CommitAndVerify);
 
-void BM_RngU64(benchmark::State& state) {
+void BM_RngU64(State& state) {
   crypto::Rng rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+  for (auto _ : state) DoNotOptimize(rng.next_u64());
 }
-BENCHMARK(BM_RngU64);
+TINYBENCH(BM_RngU64);
 
-void BM_BidVectorCodec(benchmark::State& state) {
+void BM_BidVectorCodec(State& state) {
   crypto::Rng rng(3);
   const auto inst = auction::generate(
       auction::double_auction_workload(static_cast<std::size_t>(state.range(0)), 8),
       rng);
   for (auto _ : state) {
     const Bytes enc = serde::encode_bid_vector(inst.bids);
-    benchmark::DoNotOptimize(serde::decode_bid_vector(BytesView(enc)));
+    DoNotOptimize(serde::decode_bid_vector(BytesView(enc)));
   }
 }
-BENCHMARK(BM_BidVectorCodec)->Arg(100)->Arg(1000);
+TINYBENCH(BM_BidVectorCodec)->Arg(100)->Arg(1000);
 
-void BM_BitstreamRoundTrip(benchmark::State& state) {
+void BM_BitstreamRoundTrip(State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)), 0xc3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(serde::from_bits(serde::to_bits(BytesView(data))));
+    DoNotOptimize(serde::from_bits(serde::to_bits(BytesView(data))));
   }
 }
-BENCHMARK(BM_BitstreamRoundTrip)->Arg(20)->Arg(2000);
+TINYBENCH(BM_BitstreamRoundTrip)->Arg(20)->Arg(2000);
 
-void BM_FrameRoundTrip(benchmark::State& state) {
+void BM_FrameRoundTrip(State& state) {
   net::Message msg{1, 2, "alloc/dt/3/val",
                    Bytes(static_cast<std::size_t>(state.range(0)), 0x11)};
   for (auto _ : state) {
     const Bytes frame = net::encode_frame(msg);
-    benchmark::DoNotOptimize(net::decode_frame(BytesView(frame)));
+    DoNotOptimize(net::decode_frame(BytesView(frame)));
   }
 }
-BENCHMARK(BM_FrameRoundTrip)->Arg(64)->Arg(4096);
+TINYBENCH(BM_FrameRoundTrip)->Arg(64)->Arg(4096);
 
-void BM_DoubleAuctionAlgorithm(benchmark::State& state) {
+void BM_DoubleAuctionAlgorithm(State& state) {
   crypto::Rng rng(5);
   const auto inst = auction::generate(
       auction::double_auction_workload(static_cast<std::size_t>(state.range(0)), 8),
       rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(auction::run_double_auction(inst));
+    DoNotOptimize(auction::run_double_auction(inst));
   }
 }
-BENCHMARK(BM_DoubleAuctionAlgorithm)->Arg(100)->Arg(1000);
+TINYBENCH(BM_DoubleAuctionAlgorithm)->Arg(100)->Arg(1000);
 
 }  // namespace
+
+TINYBENCH_MAIN

@@ -1,0 +1,252 @@
+// perf_suite: the repo's performance trajectory in one binary.
+//
+// Runs solver / serde / crypto / end-to-end-sim microbenches and emits
+// BENCH_dauct.json (op, n, ns/op, throughput, plus a "speedups" section) so
+// every PR has a baseline to compare against. Benchmarks come in *_ref /
+// *_opt pairs where a pre-optimization implementation is retained:
+//
+//   exact_solver          ReferenceExactSolver vs ExactSolver (memoized
+//                         fractional bound, incremental capacity pool,
+//                         provider symmetry breaking)
+//   scaled_dp             ReferenceScaledDpSolver vs ScaledDpSolver
+//                         (trial-scoped buffer reuse, provider-permutation
+//                         trial memoization)
+//   payload_encode_hash   seed-style encode (nested temporary buffers,
+//                         body→frame copy, scalar SHA-256) vs the optimized
+//                         path (exact-size single-buffer encode, hardware-
+//                         dispatched SHA-256, cached message digest)
+//
+// The *_ref and *_opt implementations are proven to produce bit-identical
+// outputs by tests/welfare_equivalence_test.cpp and tests/serde_test.cpp, so
+// the speedups below are like-for-like.
+//
+// Usage: perf_suite [--min-time-ms=N] [--json=PATH] [--filter=SUBSTR]
+// (JSON defaults to ./BENCH_dauct.json)
+#include <cstdio>
+#include <string>
+
+#include "auction/welfare.hpp"
+#include "auction/welfare_reference.hpp"
+#include "auction/workload.hpp"
+#include "core/adapters.hpp"
+#include "core/centralized_auctioneer.hpp"
+#include "core/distributed_auctioneer.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "net/message.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "serde/auction_codec.hpp"
+#include "serde/codec.hpp"
+#include "tinybench.hpp"
+
+namespace {
+
+using namespace dauct;
+using tinybench::DoNotOptimize;
+using tinybench::State;
+
+auction::AuctionInstance make_instance(std::size_t users, std::size_t providers,
+                                       std::uint64_t seed) {
+  crypto::Rng rng(seed);
+  return auction::generate(auction::standard_auction_workload(users, providers), rng);
+}
+
+// ---------------------------------------------------------------------------
+// Welfare solvers: reference vs optimized (identical outputs, see header).
+// ---------------------------------------------------------------------------
+
+void BM_exact_solver_ref(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 4, 7);
+  const auction::reference::ReferenceExactSolver solver;
+  for (auto _ : state) DoNotOptimize(solver.solve_all(inst, 0));
+}
+TINYBENCH(BM_exact_solver_ref)->Arg(24);
+
+void BM_exact_solver_opt(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 4, 7);
+  const auction::ExactSolver solver;
+  for (auto _ : state) DoNotOptimize(solver.solve_all(inst, 0));
+}
+TINYBENCH(BM_exact_solver_opt)->Arg(24);
+
+void BM_scaled_dp_ref(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 11);
+  const auction::reference::ReferenceScaledDpSolver solver(0.1);
+  for (auto _ : state) DoNotOptimize(solver.solve_all(inst, 42));
+}
+TINYBENCH(BM_scaled_dp_ref)->Arg(32);
+
+void BM_scaled_dp_opt(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 11);
+  const auction::ScaledDpSolver solver(0.1);
+  for (auto _ : state) DoNotOptimize(solver.solve_all(inst, 42));
+}
+TINYBENCH(BM_scaled_dp_opt)->Arg(32);
+
+// ---------------------------------------------------------------------------
+// Payload encode + hash round trip: the per-message cost of producing a
+// cross-validatable allocator payload (encode instance, digest it, frame it).
+// The _ref variant replicates the seed tree: nested temporary buffers with
+// no reservation, a separate body writer copied into the frame, and the
+// portable scalar SHA-256.
+// ---------------------------------------------------------------------------
+
+Bytes ref_encode_bid_vector(const std::vector<auction::Bid>& bids) {
+  serde::Writer w;
+  w.varint(bids.size());
+  for (const auto& b : bids) serde::write_bid(w, b);
+  return w.take();
+}
+
+Bytes ref_encode_ask_vector(const std::vector<auction::Ask>& asks) {
+  serde::Writer w;
+  w.varint(asks.size());
+  for (const auto& a : asks) {
+    w.u32(a.provider);
+    w.money(a.unit_cost);
+    w.money(a.capacity);
+  }
+  return w.take();
+}
+
+Bytes ref_encode_instance(const auction::AuctionInstance& instance) {
+  serde::Writer w;
+  w.bytes(ref_encode_bid_vector(instance.bids));
+  w.bytes(ref_encode_ask_vector(instance.asks));
+  return w.take();
+}
+
+Bytes ref_encode_frame(const net::Message& msg) {
+  serde::Writer body;
+  body.u32(msg.from);
+  body.u32(msg.to);
+  body.str(msg.topic);
+  body.bytes(msg.payload);
+
+  serde::Writer frame;
+  frame.u32(static_cast<std::uint32_t>(body.buffer().size()));
+  frame.raw(body.buffer());
+  return frame.take();
+}
+
+void BM_payload_encode_hash_ref(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 8, 13);
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    net::Message msg;
+    msg.from = 1;
+    msg.to = 2;
+    msg.topic = "alloc/iv/digest";
+    msg.payload = ref_encode_instance(inst);
+    DoNotOptimize(crypto::sha256_portable(BytesView(msg.payload)));
+    const Bytes frame = ref_encode_frame(msg);
+    bytes += static_cast<std::int64_t>(frame.size());
+    DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(bytes);
+}
+TINYBENCH(BM_payload_encode_hash_ref)->Arg(100)->Arg(1000);
+
+void BM_payload_encode_hash_opt(State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 8, 13);
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    net::Message msg;
+    msg.from = 1;
+    msg.to = 2;
+    msg.topic = "alloc/iv/digest";
+    msg.set_payload(serde::encode_instance(inst));
+    DoNotOptimize(msg.payload_digest());
+    const Bytes frame = net::encode_frame(msg);
+    bytes += static_cast<std::int64_t>(frame.size());
+    DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(bytes);
+}
+TINYBENCH(BM_payload_encode_hash_opt)->Arg(100)->Arg(1000);
+
+// ---------------------------------------------------------------------------
+// Supporting trajectory points (no retained reference): raw SHA-256
+// throughput, frame round trip, and a full end-to-end simulated distributed
+// auction (the number the paper's figures are made of).
+// ---------------------------------------------------------------------------
+
+void BM_sha256(State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) DoNotOptimize(crypto::sha256(BytesView(data)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+TINYBENCH(BM_sha256)->Arg(1024)->Arg(65536);
+
+void BM_frame_roundtrip(State& state) {
+  net::Message msg{1, 2, "alloc/dt/3/val",
+                   Bytes(static_cast<std::size_t>(state.range(0)), 0x11)};
+  for (auto _ : state) {
+    const Bytes frame = net::encode_frame(msg);
+    DoNotOptimize(net::decode_frame(BytesView(frame)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+TINYBENCH(BM_frame_roundtrip)->Arg(4096);
+
+void BM_e2e_sim_distributed(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  auction::StandardAuctionParams params;
+  params.epsilon = 0.25;
+  auto adapter = std::make_shared<core::StandardAuctionAdapter>(params);
+  core::AuctioneerSpec spec;
+  spec.m = 3;
+  spec.k = 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_instance(users, 3, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_sim_distributed)->Arg(12);
+
+// ---------------------------------------------------------------------------
+
+/// "speedups" JSON section from matching *_ref / *_opt result pairs.
+std::string speedups_json(const std::vector<tinybench::Result>& results) {
+  std::string out = "  \"speedups\": {";
+  bool first = true;
+  for (const auto& ref : results) {
+    const std::size_t pos = ref.op.find("_ref");
+    if (pos == std::string::npos) continue;
+    const std::string base = ref.op.substr(0, pos);
+    for (const auto& opt : results) {
+      if (opt.op != base + "_opt" || opt.n != ref.n) continue;
+      if (opt.ns_per_op <= 0) continue;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s\n    \"%s/%lld\": %.2f",
+                    first ? "" : ",", base.c_str(), static_cast<long long>(ref.n),
+                    ref.ns_per_op / opt.ns_per_op);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "\n  }";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tinybench::Options opt = tinybench::parse_args(argc, argv);
+  if (opt.json_path.empty()) opt.json_path = "BENCH_dauct.json";
+
+  const auto results = tinybench::run_all(opt);
+  tinybench::print_table(results);
+  if (!tinybench::write_json(results, opt.json_path, speedups_json(results))) {
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu benchmarks)\n", opt.json_path.c_str(), results.size());
+  return 0;
+}

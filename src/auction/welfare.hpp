@@ -21,6 +21,10 @@
 // Determinism: given the same seed and inputs, both solvers return
 // bit-identical assignments on every platform (fixed-point arithmetic, id
 // tie-breaks) — required for replicated cross-validation.
+//
+// Both solvers are the optimized hot-path implementations; the original
+// (seed-tree) versions live on in welfare_reference.hpp and the equivalence
+// tests assert byte-identical Assignments between the two.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +60,11 @@ class WelfareSolver {
   Assignment solve_all(const AuctionInstance& instance, std::uint64_t seed) const;
 };
 
-/// Exact branch & bound (ground truth; exponential worst case).
+/// Exact branch & bound (ground truth; exponential worst case). The
+/// fractional bound excludes bidders that outsize every provider's remaining
+/// capacity and tracks the pooled capacity incrementally — an admissible
+/// tightening, so the returned assignment is bit-identical to the reference
+/// search at a fraction of the node count.
 class ExactSolver final : public WelfareSolver {
  public:
   Assignment solve(const AuctionInstance& instance, const std::vector<bool>& active,
@@ -64,24 +72,41 @@ class ExactSolver final : public WelfareSolver {
 };
 
 /// (1−ε)-style scaled dynamic program with randomized perturbed trials.
+///
+/// Hot-path layout: the active item set is materialized once per solve (it is
+/// seed-independent), every trial reuses a single scratch arena (DP row, flat
+/// take-matrix, perturbation buffers) instead of allocating per provider, and
+/// trials can optionally run on a small thread pool. All modes
+/// return bit-identical Assignments: trials fork independent RNG streams and
+/// the winner is reduced in trial order, so thread count never changes the
+/// outcome (enforced against ReferenceScaledDpSolver by the equivalence
+/// tests).
 class ScaledDpSolver final : public WelfareSolver {
  public:
   /// `epsilon` controls the capacity grid (⌈n/ε⌉ cells) and the number of
-  /// perturbed trials (⌈1/ε⌉). Must be in (0, 1].
-  explicit ScaledDpSolver(double epsilon);
+  /// perturbed trials (⌈1/ε⌉). Must be in (0, 1]. `parallel_trials` > 1 runs
+  /// up to that many trials on concurrent threads (1 = serial, the default;
+  /// results are identical either way).
+  explicit ScaledDpSolver(double epsilon, std::size_t parallel_trials = 1);
 
   Assignment solve(const AuctionInstance& instance, const std::vector<bool>& active,
                    std::uint64_t seed) const override;
 
   double epsilon() const { return epsilon_; }
+  std::size_t trials() const { return trials_; }
+  std::size_t parallel_trials() const { return parallel_trials_; }
 
  private:
-  Assignment solve_one_trial(const AuctionInstance& instance,
-                             const std::vector<bool>& active,
-                             crypto::Rng& rng) const;
+  struct Scratch;  // per-trial reusable buffers; defined in welfare.cpp
+
+  /// One perturbed trial: deterministic in (instance, active item set,
+  /// provider_order) — the basis for trial memoization and parallelism.
+  Assignment solve_one_trial(const AuctionInstance& instance, Scratch& scratch,
+                             const std::vector<std::size_t>& provider_order) const;
 
   double epsilon_;
   std::size_t trials_;
+  std::size_t parallel_trials_;
 };
 
 }  // namespace dauct::auction

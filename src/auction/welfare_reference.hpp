@@ -1,0 +1,45 @@
+// Reference welfare solvers: the original (pre-optimization) branch & bound
+// and scaled-DP implementations, retained verbatim as ground truth.
+//
+// The optimized solvers in welfare.{hpp,cpp} must return *byte-identical*
+// Assignments to these for every instance/active-mask/seed — that contract is
+// enforced by tests/welfare_equivalence_test.cpp and lets the perf suite
+// (bench/perf_suite.cpp) report honest speedups against the very code the
+// seed tree shipped with. These are deliberately unoptimized; do not "fix"
+// them, change the optimized solvers and prove equivalence instead.
+#pragma once
+
+#include "auction/welfare.hpp"
+
+namespace dauct::auction::reference {
+
+/// Original exact branch & bound: rescans the provider pool on every bound
+/// evaluation (O(n·providers) per node) and explores symmetric provider
+/// permutations.
+class ReferenceExactSolver final : public WelfareSolver {
+ public:
+  Assignment solve(const AuctionInstance& instance, const std::vector<bool>& active,
+                   std::uint64_t seed) const override;
+};
+
+/// Original scaled DP: allocates fresh dp/take buffers per provider per trial
+/// (take is a byte matrix, not a bitset) and runs trials serially.
+class ReferenceScaledDpSolver final : public WelfareSolver {
+ public:
+  explicit ReferenceScaledDpSolver(double epsilon);
+
+  Assignment solve(const AuctionInstance& instance, const std::vector<bool>& active,
+                   std::uint64_t seed) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  Assignment solve_one_trial(const AuctionInstance& instance,
+                             const std::vector<bool>& active,
+                             crypto::Rng& rng) const;
+
+  double epsilon_;
+  std::size_t trials_;
+};
+
+}  // namespace dauct::auction::reference

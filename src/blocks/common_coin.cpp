@@ -85,7 +85,7 @@ void CommonCoin::maybe_reveal() {
   // before everyone is bound.
   if (revealed_ || !commits_.complete()) return;
   revealed_ = true;
-  serde::Writer w;
+  serde::Writer w(8 + 32);
   w.u64(my_opening_.value);
   w.raw(BytesView(my_opening_.nonce.data(), my_opening_.nonce.size()));
   endpoint_.broadcast(reveal_topic_, w.take());
@@ -99,7 +99,7 @@ void CommonCoin::maybe_decide() {
     serde::Reader r(BytesView(reveals_.payloads()[j]));
     crypto::Opening opening;
     opening.value = r.u64();
-    const Bytes nonce = r.raw(32);
+    const BytesView nonce = r.raw_view(32);
     std::copy(nonce.begin(), nonce.end(), opening.nonce.begin());
     if (!r.at_end()) {
       abort(AbortReason::kInvalidCommitment, "truncated reveal");

@@ -14,7 +14,7 @@ DataTransfer::DataTransfer(Endpoint& endpoint, std::string topic_prefix,
   is_source_ = std::binary_search(sources_.begin(), sources_.end(), endpoint_.self());
   is_receiver_ =
       std::binary_search(receivers.begin(), receivers.end(), endpoint_.self());
-  received_.resize(sources_.size());
+  digests_.resize(sources_.size());
   seen_.assign(sources_.size(), false);
 }
 
@@ -52,7 +52,11 @@ bool DataTransfer::handle(const net::Message& msg) {
     return true;
   }
   seen_[rank] = true;
-  received_[rank] = msg.payload;
+  digests_[rank] = msg.payload_digest();
+  if (!have_value_) {
+    value_ = msg.payload;
+    have_value_ = true;
+  }
   ++num_received_;
   maybe_decide();
   return true;
@@ -60,8 +64,8 @@ bool DataTransfer::handle(const net::Message& msg) {
 
 void DataTransfer::maybe_decide() {
   if (result_ || num_received_ < sources_.size()) return;
-  for (std::size_t r = 1; r < received_.size(); ++r) {
-    if (received_[r] != received_[0]) {
+  for (std::size_t r = 1; r < digests_.size(); ++r) {
+    if (digests_[r] != digests_[0]) {
       result_ = Outcome<Bytes>(
           Bottom{AbortReason::kTransferMismatch,
                  "sources " + std::to_string(sources_[0]) + " and " +
@@ -69,7 +73,9 @@ void DataTransfer::maybe_decide() {
       return;
     }
   }
-  result_ = Outcome<Bytes>(received_[0]);
+  // All digests agree, so every copy is (collision-resistance) identical to
+  // the first one received.
+  result_ = Outcome<Bytes>(std::move(value_));
 }
 
 }  // namespace dauct::blocks

@@ -15,6 +15,7 @@
 
 #include "blocks/block.hpp"
 #include "common/outcome.hpp"
+#include "crypto/sha256.hpp"
 
 namespace dauct::blocks {
 
@@ -46,8 +47,15 @@ class DataTransfer {
   bool is_source_ = false;
   bool is_receiver_ = false;
 
-  std::vector<Bytes> received_;      // by source rank
-  std::vector<bool> seen_;           // by source rank
+  // Cross-validation is digest-based (like input validation / output
+  // agreement already are): one owned copy of the first-arriving value plus a
+  // 32-byte digest per source, instead of a full payload copy per source.
+  // Digests come from the Message-level cache, so each payload is hashed at
+  // most once.
+  std::vector<crypto::Digest> digests_;  // by source rank
+  std::vector<bool> seen_;               // by source rank
+  Bytes value_;                          // first received copy
+  bool have_value_ = false;
   std::size_t num_received_ = 0;
   std::optional<Outcome<Bytes>> result_;
 };

@@ -9,8 +9,9 @@ OutputAgreement::OutputAgreement(Endpoint& endpoint, std::string topic_prefix)
 
 void OutputAgreement::start(Bytes my_result) {
   my_result_ = std::move(my_result);
+  my_digest_ = crypto::digest_bytes(crypto::sha256(BytesView(my_result_)));
   started_ = true;
-  endpoint_.broadcast(topic_, crypto::digest_bytes(crypto::sha256(BytesView(my_result_))));
+  endpoint_.broadcast(topic_, my_digest_);
   maybe_decide();
 }
 
@@ -33,9 +34,8 @@ bool OutputAgreement::handle(const net::Message& msg) {
 
 void OutputAgreement::maybe_decide() {
   if (result_ || !started_ || !digests_.complete()) return;
-  const Bytes mine = crypto::digest_bytes(crypto::sha256(BytesView(my_result_)));
   for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
-    if (digests_.payloads()[j] != mine) {
+    if (digests_.payloads()[j] != my_digest_) {
       result_ = Outcome<Bytes>(
           Bottom{AbortReason::kOutputMismatch,
                  "output digest differs at provider " + std::to_string(j)});

@@ -35,6 +35,7 @@ class OutputAgreement {
   std::string topic_;
   RoundCollector digests_;
   Bytes my_result_;
+  Bytes my_digest_;  ///< sha256(my_result_), hashed once at start()
   bool started_ = false;
   std::optional<Outcome<Bytes>> result_;
 };

@@ -61,6 +61,12 @@ bool BatchedConsensus::handle(const net::Message& msg) {
       abort(AbortReason::kProtocolViolation, "duplicate batched vote");
       return true;
     }
+    // Take the digest from the message cache now: the echo round then builds
+    // from stored 32-byte digests instead of re-hashing every vote payload.
+    if (vote_digests_.size() < endpoint_.num_providers()) {
+      vote_digests_.resize(endpoint_.num_providers());
+    }
+    vote_digests_[msg.from] = msg.payload_digest();
     maybe_echo();
     maybe_decide();
     return true;
@@ -88,7 +94,7 @@ void BatchedConsensus::maybe_echo() {
   Bytes echo;
   echo.reserve(32 * endpoint_.num_providers());
   for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
-    const crypto::Digest d = crypto::sha256(BytesView(votes_.payloads()[j]));
+    const crypto::Digest& d = vote_digests_[j];
     append(echo, BytesView(d.data(), d.size()));
   }
   endpoint_.broadcast(echo_topic_, echo);

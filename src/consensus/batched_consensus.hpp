@@ -15,6 +15,7 @@
 
 #include "blocks/block.hpp"
 #include "common/outcome.hpp"
+#include "crypto/sha256.hpp"
 
 namespace dauct::consensus {
 
@@ -42,6 +43,7 @@ class BatchedConsensus {
 
   blocks::RoundCollector votes_;
   blocks::RoundCollector echoes_;
+  std::vector<crypto::Digest> vote_digests_;  ///< by sender, from the msg cache
   bool echoed_ = false;
   std::optional<Outcome<std::vector<Bytes>>> result_;
 };

@@ -4,6 +4,14 @@
 // commit–reveal scheme), digest-based cross-validation of broadcast values
 // (bid agreement echoes, input validation, data transfer, output agreement),
 // and for deriving per-instance domain-separation tags.
+//
+// Hot path: update() streams whole blocks straight out of the caller's
+// buffer (no staging copy; only sub-block tails are buffered) and hands all
+// of them to one multi-block compression call. On x86-64 with the SHA
+// extensions, that call is hardware-accelerated (SHA-NI intrinsics, selected
+// once at startup by CPUID); everywhere else a portable scalar compressor
+// runs. Both produce identical FIPS 180-4 digests — required, since
+// providers on heterogeneous hosts cross-validate by digest equality.
 #pragma once
 
 #include <array>
@@ -33,7 +41,7 @@ class Sha256 {
   void reset();
 
  private:
-  void compress(const std::uint8_t block[64]);
+  void compress_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::array<std::uint32_t, 8> state_;
   std::uint64_t bit_len_ = 0;
@@ -44,6 +52,12 @@ class Sha256 {
 /// One-shot hash.
 Digest sha256(BytesView data);
 Digest sha256(std::string_view data);
+
+/// One-shot hash forced through the portable scalar compressor, bypassing
+/// the CPU dispatch. The pre-optimization reference: equivalence tests check
+/// it agrees with sha256() on the running host, and the perf suite benches
+/// the hardware path against it.
+Digest sha256_portable(BytesView data);
 
 /// Digest as Bytes (convenience for wire payloads).
 Bytes digest_bytes(const Digest& d);

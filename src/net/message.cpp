@@ -7,16 +7,18 @@
 namespace dauct::net {
 
 Bytes encode_frame(const Message& msg) {
-  serde::Writer body;
-  body.u32(msg.from);
-  body.u32(msg.to);
-  body.str(msg.topic);
-  body.bytes(msg.payload);
-
-  serde::Writer frame;
-  frame.u32(static_cast<std::uint32_t>(body.buffer().size()));
-  frame.raw(body.buffer());
-  return frame.take();
+  // Exact frame size, known up front: one reservation, no body→frame copy.
+  const std::size_t body_len = 4 + 4 + serde::varint_len(msg.topic.size()) +
+                               msg.topic.size() +
+                               serde::varint_len(msg.payload.size()) +
+                               msg.payload.size();
+  serde::Writer w(4 + body_len);
+  w.u32(static_cast<std::uint32_t>(body_len));
+  w.u32(msg.from);
+  w.u32(msg.to);
+  w.str(msg.topic);
+  w.bytes(msg.payload);
+  return w.take();
 }
 
 std::optional<DecodedFrame> decode_frame(BytesView data) {
@@ -32,8 +34,11 @@ std::optional<DecodedFrame> decode_frame(BytesView data) {
   DecodedFrame out;
   out.message.from = r.u32();
   out.message.to = r.u32();
-  out.message.topic = r.str();
-  out.message.payload = r.bytes();
+  // View-based reads: one copy into the owning Message fields, no
+  // intermediate Bytes temporaries.
+  out.message.topic = std::string(r.str_view());
+  const BytesView payload = r.bytes_view();
+  out.message.payload.assign(payload.begin(), payload.end());
   if (!r.at_end()) {
     throw std::length_error("decode_frame: malformed frame body");
   }

@@ -11,6 +11,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "crypto/sha256.hpp"
 
 namespace dauct::net {
 
@@ -23,9 +24,56 @@ struct Message {
   /// Approximate size on the wire (header + topic + payload); used by the
   /// latency model to charge serialization delay.
   std::size_t wire_size() const { return 16 + topic.size() + payload.size(); }
+
+  /// SHA-256 of `payload`, computed lazily and cached — cross-validating
+  /// blocks (data transfer, batched-consensus echoes) hash the same payload
+  /// bytes at most once per message. The cache deliberately does NOT survive
+  /// copies or moves (copied/moved-from Messages restart cold), so the
+  /// common copy-then-tweak-payload pattern cannot observe a stale digest.
+  /// Contract on a single object: don't mutate `payload` directly after the
+  /// first call — use set_payload(), which resets the cache.
+  const crypto::Digest& payload_digest() const {
+    if (!digest_cache_.cached) {
+      digest_cache_.digest = crypto::sha256(BytesView(payload));
+      digest_cache_.cached = true;
+    }
+    return digest_cache_.digest;
+  }
+
+  /// Replace the payload, invalidating any cached digest.
+  void set_payload(Bytes p) {
+    payload = std::move(p);
+    digest_cache_.cached = false;
+  }
+
+  /// Digest cache slot: every copy/move starts cold (and a moved-from source
+  /// is reset, its payload having been stolen). Public member so Message
+  /// stays an aggregate — brace-init with the four routing/payload fields
+  /// still works; treat as internal.
+  struct PayloadDigestCache {
+    PayloadDigestCache() = default;
+    PayloadDigestCache(const PayloadDigestCache&) {}
+    PayloadDigestCache(PayloadDigestCache&& other) noexcept { other.cached = false; }
+    PayloadDigestCache& operator=(const PayloadDigestCache&) {
+      cached = false;
+      return *this;
+    }
+    PayloadDigestCache& operator=(PayloadDigestCache&& other) noexcept {
+      cached = false;
+      other.cached = false;
+      return *this;
+    }
+
+    mutable crypto::Digest digest{};
+    mutable bool cached = false;
+  };
+  PayloadDigestCache digest_cache_{};
 };
 
-/// Length-prefixed frame encoding for stream transports (TCP).
+/// Length-prefixed frame encoding for stream transports (TCP). Single-buffer:
+/// the exact body size is computed up front, so the length prefix and body
+/// are written straight into one exactly-reserved buffer (no body→frame
+/// copy).
 Bytes encode_frame(const Message& msg);
 
 /// Decode one frame. Returns the message and the number of bytes consumed,

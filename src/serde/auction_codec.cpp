@@ -13,10 +13,31 @@ namespace {
 // Hard cap on decoded element counts: a malicious peer must not be able to
 // make an honest provider allocate unbounded memory.
 constexpr std::uint64_t kMaxElements = 1u << 22;
+
+// Fixed per-element wire sizes (u32 = 4, money = 8). Encoders use these to
+// reserve exact buffer sizes and to write nested length-prefixed sections in
+// place instead of encoding into a temporary and copying it over.
+constexpr std::size_t kBidWireBytes = 4 + 8 + 8;
+constexpr std::size_t kAskWireBytes = 4 + 8 + 8;
+constexpr std::size_t kAllocEntryWireBytes = 4 + 4 + 8;
+
+std::size_t bid_vector_wire_len(std::size_t n) {
+  return varint_len(n) + n * kBidWireBytes;
+}
+std::size_t ask_vector_wire_len(std::size_t n) {
+  return varint_len(n) + n * kAskWireBytes;
+}
+std::size_t allocation_wire_len(std::size_t entries) {
+  return varint_len(entries) + entries * kAllocEntryWireBytes;
+}
+std::size_t payments_wire_len(const Payments& p) {
+  return varint_len(p.user_payments.size()) + 8 * p.user_payments.size() +
+         varint_len(p.provider_revenues.size()) + 8 * p.provider_revenues.size();
+}
 }  // namespace
 
 Bytes encode_bid_fixed(const Bid& bid) {
-  Writer w;
+  Writer w(kBidEncodingBytes);
   w.u32(bid.bidder);
   w.money(bid.unit_value);
   w.money(bid.demand);
@@ -50,7 +71,7 @@ std::optional<Bid> read_bid(Reader& r) {
 }
 
 Bytes encode_bid_vector(const std::vector<Bid>& bids) {
-  Writer w;
+  Writer w(bid_vector_wire_len(bids.size()));
   w.varint(bids.size());
   for (const auto& b : bids) write_bid(w, b);
   return w.take();
@@ -72,7 +93,7 @@ std::optional<std::vector<Bid>> decode_bid_vector(BytesView data) {
 }
 
 Bytes encode_ask_vector(const std::vector<Ask>& asks) {
-  Writer w;
+  Writer w(ask_vector_wire_len(asks.size()));
   w.varint(asks.size());
   for (const auto& a : asks) {
     w.u32(a.provider);
@@ -100,7 +121,7 @@ std::optional<std::vector<Ask>> decode_ask_vector(BytesView data) {
 }
 
 Bytes encode_allocation(const Allocation& x) {
-  Writer w;
+  Writer w(allocation_wire_len(x.entries().size()));
   w.varint(x.entries().size());
   for (const auto& e : x.entries()) {
     w.u32(e.bidder);
@@ -127,7 +148,7 @@ std::optional<Allocation> decode_allocation(BytesView data) {
 }
 
 Bytes encode_payments(const Payments& p) {
-  Writer w;
+  Writer w(payments_wire_len(p));
   w.varint(p.user_payments.size());
   for (Money m : p.user_payments) w.money(m);
   w.varint(p.provider_revenues.size());
@@ -151,16 +172,30 @@ std::optional<Payments> decode_payments(BytesView data) {
 }
 
 Bytes encode_result(const AuctionResult& res) {
-  Writer w;
-  w.bytes(encode_allocation(res.allocation));
-  w.bytes(encode_payments(res.payments));
+  // Nested sections written in place: sizes are exact, so the length prefixes
+  // can be emitted up front — no encode-into-temporary-and-copy.
+  const std::size_t alloc_len = allocation_wire_len(res.allocation.entries().size());
+  const std::size_t pay_len = payments_wire_len(res.payments);
+  Writer w(varint_len(alloc_len) + alloc_len + varint_len(pay_len) + pay_len);
+  w.varint(alloc_len);
+  w.varint(res.allocation.entries().size());
+  for (const auto& e : res.allocation.entries()) {
+    w.u32(e.bidder);
+    w.u32(e.provider);
+    w.money(e.amount);
+  }
+  w.varint(pay_len);
+  w.varint(res.payments.user_payments.size());
+  for (Money m : res.payments.user_payments) w.money(m);
+  w.varint(res.payments.provider_revenues.size());
+  for (Money m : res.payments.provider_revenues) w.money(m);
   return w.take();
 }
 
 std::optional<AuctionResult> decode_result(BytesView data) {
   Reader r(data);
-  const Bytes alloc_bytes = r.bytes();
-  const Bytes pay_bytes = r.bytes();
+  const BytesView alloc_bytes = r.bytes_view();
+  const BytesView pay_bytes = r.bytes_view();
   if (!r.at_end()) return std::nullopt;
   auto alloc = decode_allocation(alloc_bytes);
   auto pay = decode_payments(pay_bytes);
@@ -194,16 +229,29 @@ std::optional<auction::Assignment> decode_assignment(BytesView data) {
 }
 
 Bytes encode_instance(const auction::AuctionInstance& instance) {
-  Writer w;
-  w.bytes(encode_bid_vector(instance.bids));
-  w.bytes(encode_ask_vector(instance.asks));
+  // In-place nested sections (see encode_result). encode_instance runs once
+  // per provider per auction on the allocator input path, right before the
+  // payload is hashed for input validation.
+  const std::size_t bid_len = bid_vector_wire_len(instance.bids.size());
+  const std::size_t ask_len = ask_vector_wire_len(instance.asks.size());
+  Writer w(varint_len(bid_len) + bid_len + varint_len(ask_len) + ask_len);
+  w.varint(bid_len);
+  w.varint(instance.bids.size());
+  for (const auto& b : instance.bids) write_bid(w, b);
+  w.varint(ask_len);
+  w.varint(instance.asks.size());
+  for (const auto& a : instance.asks) {
+    w.u32(a.provider);
+    w.money(a.unit_cost);
+    w.money(a.capacity);
+  }
   return w.take();
 }
 
 std::optional<auction::AuctionInstance> decode_instance(BytesView data) {
   Reader r(data);
-  const Bytes bid_bytes = r.bytes();
-  const Bytes ask_bytes = r.bytes();
+  const BytesView bid_bytes = r.bytes_view();
+  const BytesView ask_bytes = r.bytes_view();
   if (!r.at_end()) return std::nullopt;
   auto bids = decode_bid_vector(bid_bytes);
   auto asks = decode_ask_vector(ask_bytes);
@@ -215,7 +263,7 @@ std::optional<auction::AuctionInstance> decode_instance(BytesView data) {
 }
 
 Bytes encode_money_vector(const std::vector<dauct::Money>& v) {
-  Writer w;
+  Writer w(varint_len(v.size()) + 8 * v.size());
   w.varint(v.size());
   for (Money m : v) w.money(m);
   return w.take();

@@ -107,25 +107,40 @@ bool Reader::boolean() {
 dauct::Money Reader::money() { return dauct::Money::from_micros(i64()); }
 
 Bytes Reader::bytes() {
+  const BytesView v = bytes_view();
+  return Bytes(v.begin(), v.end());
+}
+
+Bytes Reader::raw(std::size_t len) {
+  const BytesView v = raw_view(len);
+  return Bytes(v.begin(), v.end());
+}
+
+std::string Reader::str() {
+  const std::string_view v = str_view();
+  return std::string(v);
+}
+
+BytesView Reader::bytes_view() {
   const std::uint64_t len = varint();
   if (!ok_ || len > remaining()) {
     ok_ = false;
     return {};
   }
-  return raw(static_cast<std::size_t>(len));
+  return raw_view(static_cast<std::size_t>(len));
 }
 
-Bytes Reader::raw(std::size_t len) {
+BytesView Reader::raw_view(std::size_t len) {
   if (!need(len)) return {};
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  const BytesView out = data_.subspan(pos_, len);
   pos_ += len;
   return out;
 }
 
-std::string Reader::str() {
-  const Bytes b = bytes();
-  return std::string(b.begin(), b.end());
+std::string_view Reader::str_view() {
+  const BytesView v = bytes_view();
+  if (v.empty()) return {};
+  return std::string_view(reinterpret_cast<const char*>(v.data()), v.size());
 }
 
 }  // namespace dauct::serde

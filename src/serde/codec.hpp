@@ -19,10 +19,25 @@
 
 namespace dauct::serde {
 
+/// Encoded size of a LEB128 varint (1 byte per started 7 bits). Lets encoders
+/// compute exact payload sizes up front and write nested sections in place
+/// instead of encode-into-temporary-then-copy.
+constexpr std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Appends values to a byte buffer.
 class Writer {
  public:
   Writer() = default;
+  /// Pre-size the buffer: one allocation when the encoded size is known (or
+  /// over-estimated) up front.
+  explicit Writer(std::size_t reserve_hint) { buf_.reserve(reserve_hint); }
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -36,6 +51,13 @@ class Writer {
   void raw(BytesView v);      ///< raw bytes, no length prefix
   void str(std::string_view v);
 
+  /// Grow capacity to at least `n` bytes (never shrinks).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Reusable-buffer mode: drop the contents, keep the capacity. A Writer
+  /// held across encodes amortizes its allocations to zero.
+  void clear() { buf_.clear(); }
+  std::size_t size() const { return buf_.size(); }
+
   const Bytes& buffer() const { return buf_; }
   Bytes take() { return std::move(buf_); }
 
@@ -46,6 +68,12 @@ class Writer {
 /// Reads values from a byte buffer. On any malformed access, ok() turns false
 /// and all further reads return zero values; callers check ok() once at the
 /// end of decoding a message.
+///
+/// The *_view accessors are zero-copy: they return spans/views into the
+/// underlying buffer instead of owning copies, with exactly the same
+/// defensive behaviour (same ok() transitions, same rejected inputs) as the
+/// owning accessors — enforced by the serde parity tests. Views are only
+/// valid while the buffer passed to the constructor outlives them.
 class Reader {
  public:
   explicit Reader(BytesView data) : data_(data) {}
@@ -61,6 +89,13 @@ class Reader {
   Bytes bytes();
   Bytes raw(std::size_t len);
   std::string str();
+
+  /// Zero-copy variants: same wire format and failure behaviour as bytes() /
+  /// raw() / str(), but returning views into the input buffer (empty on
+  /// failure).
+  BytesView bytes_view();
+  BytesView raw_view(std::size_t len);
+  std::string_view str_view();
 
   /// True while no decode error has occurred.
   bool ok() const { return ok_; }

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -12,20 +13,23 @@ std::string format_time(SimTime t) {
 }
 
 void EventQueue::schedule(SimTime at, Callback fn) {
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SimTime EventQueue::next_time() const {
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 SimTime EventQueue::run_next() {
   assert(!heap_.empty());
-  // priority_queue::top() is const; copy the (cheap) std::function handle out
-  // rather than const_cast-moving it.
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  // The earliest event is now at the back: move it out (the callback and its
+  // captured state are not copied) and drop the slot before running, so the
+  // callback may freely schedule new events.
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   ++executed_;
   ev.fn();
   return ev.at;

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -46,7 +45,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Explicit vector + push_heap/pop_heap instead of std::priority_queue:
+  // top() of a priority_queue is const, which forced run_next() to *copy* the
+  // std::function (and its captured state) out of every event. pop_heap moves
+  // the earliest event to the back, where it can be moved out.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };

@@ -4,7 +4,10 @@
 
 #include "auction/double_auction.hpp"
 #include "core/adapters.hpp"
+#include "crypto/sha256.hpp"
+#include "net/message.hpp"
 #include "net/tcp_transport.hpp"
+#include "serde/codec.hpp"
 #include "runtime/tcp_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 #include "test_util.hpp"
@@ -44,6 +47,42 @@ TEST(Frame, PartialFrameNeedsMoreBytes) {
 TEST(Frame, OversizedFrameRejected) {
   Bytes bad = {0xff, 0xff, 0xff, 0xff};  // 4 GiB body length
   EXPECT_THROW(net::decode_frame(BytesView(bad)), std::length_error);
+}
+
+TEST(Frame, SingleBufferEncodeMatchesTwoWriterReference) {
+  // encode_frame now writes body-in-place with an up-front exact size; the
+  // wire bytes must be identical to the seed's body-writer-then-copy shape.
+  for (std::size_t payload_len : {std::size_t{0}, std::size_t{1}, std::size_t{127},
+                                  std::size_t{128}, std::size_t{5000}}) {
+    net::Message msg{4, 9, "alloc/out/digest", Bytes(payload_len, 0xad)};
+    serde::Writer body;
+    body.u32(msg.from);
+    body.u32(msg.to);
+    body.str(msg.topic);
+    body.bytes(msg.payload);
+    serde::Writer ref;
+    ref.u32(static_cast<std::uint32_t>(body.buffer().size()));
+    ref.raw(BytesView(body.buffer()));
+    EXPECT_EQ(net::encode_frame(msg), ref.buffer()) << payload_len;
+  }
+}
+
+TEST(Message, PayloadDigestMatchesOneShotHash) {
+  net::Message msg{1, 2, "t", Bytes{5, 6, 7, 8}};
+  EXPECT_EQ(msg.payload_digest(), crypto::sha256(BytesView(msg.payload)));
+  // Cached: repeated calls and copies return the same digest object value.
+  const crypto::Digest first = msg.payload_digest();
+  const net::Message copy = msg;
+  EXPECT_EQ(copy.payload_digest(), first);
+}
+
+TEST(Message, SetPayloadInvalidatesDigestCache) {
+  net::Message msg{1, 2, "t", Bytes{1}};
+  const crypto::Digest d1 = msg.payload_digest();
+  msg.set_payload(Bytes{2});
+  const crypto::Digest d2 = msg.payload_digest();
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(d2, crypto::sha256(BytesView(msg.payload)));
 }
 
 TEST(Mailbox, PushPopClose) {

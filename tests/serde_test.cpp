@@ -206,6 +206,136 @@ TEST(AuctionCodec, MoneyVectorRoundTrip) {
   EXPECT_EQ(*dec, v);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy Reader parity: the *_view accessors must accept and reject
+// exactly the same inputs as the owning accessors, with the same ok() state
+// transitions and the same produced values.
+// ---------------------------------------------------------------------------
+
+TEST(CodecZeroCopy, ViewsMatchOwningOnWellFormed) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.str("topic/leaf");
+  w.raw(to_bytes("xyz"));
+
+  Reader owning(BytesView(w.buffer()));
+  Reader viewing(BytesView(w.buffer()));
+  const BytesView bytes_view = viewing.bytes_view();
+  EXPECT_EQ(owning.bytes(), Bytes(bytes_view.begin(), bytes_view.end()));
+  EXPECT_EQ(owning.str(), std::string(viewing.str_view()));
+  const Bytes raw_owned = owning.raw(3);
+  const BytesView raw_view = viewing.raw_view(3);
+  EXPECT_EQ(raw_owned, Bytes(raw_view.begin(), raw_view.end()));
+  EXPECT_TRUE(owning.at_end());
+  EXPECT_TRUE(viewing.at_end());
+}
+
+TEST(CodecZeroCopy, ViewsAliasTheInputBuffer) {
+  Writer w;
+  w.bytes(to_bytes("abc"));
+  const Bytes& buf = w.buffer();
+  Reader r{BytesView(buf)};
+  const BytesView v = r.bytes_view();
+  ASSERT_EQ(v.size(), 3u);
+  // Zero-copy means the view points into the original buffer.
+  EXPECT_GE(v.data(), buf.data());
+  EXPECT_LT(v.data(), buf.data() + buf.size());
+}
+
+TEST(CodecZeroCopy, TruncatedLengthPrefixRejectedIdentically) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes, provides none
+  Reader owning(BytesView(w.buffer()));
+  Reader viewing(BytesView(w.buffer()));
+  (void)owning.bytes();
+  const BytesView v = viewing.bytes_view();
+  EXPECT_FALSE(owning.ok());
+  EXPECT_FALSE(viewing.ok());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(CodecZeroCopy, TruncatedRawRejectedIdentically) {
+  const Bytes buf = {1, 2};
+  Reader owning{BytesView(buf)};
+  Reader viewing{BytesView(buf)};
+  (void)owning.raw(3);
+  (void)viewing.raw_view(3);
+  EXPECT_FALSE(owning.ok());
+  EXPECT_FALSE(viewing.ok());
+}
+
+TEST(CodecZeroCopy, MalformedVarintPrefixRejectedIdentically) {
+  Bytes bad(11, 0xff);  // varint overflow as a length prefix
+  Reader owning{BytesView(bad)};
+  Reader viewing{BytesView(bad)};
+  (void)owning.str();
+  (void)viewing.str_view();
+  EXPECT_FALSE(owning.ok());
+  EXPECT_FALSE(viewing.ok());
+}
+
+TEST(CodecZeroCopy, FuzzedBuffersAgreeEverywhere) {
+  crypto::Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk(rng.next_below(40));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    Reader owning{BytesView(junk)};
+    Reader viewing{BytesView(junk)};
+    for (int op = 0; op < 4; ++op) {
+      switch (rng.next_below(3)) {
+        case 0: {
+          const Bytes a = owning.bytes();
+          const BytesView b = viewing.bytes_view();
+          EXPECT_EQ(a, Bytes(b.begin(), b.end()));
+          break;
+        }
+        case 1: {
+          const std::size_t len = rng.next_below(8);
+          const Bytes a = owning.raw(len);
+          const BytesView b = viewing.raw_view(len);
+          EXPECT_EQ(a, Bytes(b.begin(), b.end()));
+          break;
+        }
+        case 2: {
+          EXPECT_EQ(owning.str(), std::string(viewing.str_view()));
+          break;
+        }
+      }
+      ASSERT_EQ(owning.ok(), viewing.ok()) << "trial " << trial << " op " << op;
+      ASSERT_EQ(owning.remaining(), viewing.remaining());
+    }
+    EXPECT_EQ(owning.at_end(), viewing.at_end());
+  }
+}
+
+TEST(CodecWriter, ReserveAndReuseKeepBytesIdentical) {
+  const auto encode = [](Writer& w) {
+    w.varint(300);
+    w.str("reusable");
+    w.u64(0x1122334455667788ULL);
+  };
+  Writer fresh;
+  encode(fresh);
+
+  Writer reused(256);
+  encode(reused);
+  EXPECT_EQ(fresh.buffer(), reused.buffer());
+
+  reused.clear();  // keep capacity, drop contents
+  EXPECT_EQ(reused.size(), 0u);
+  encode(reused);
+  EXPECT_EQ(fresh.buffer(), reused.buffer());
+}
+
+TEST(CodecWriter, VarintLenMatchesEncoding) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          0xffffffffULL, 0xffffffffffffffffULL}) {
+    Writer w;
+    w.varint(v);
+    EXPECT_EQ(varint_len(v), w.size()) << v;
+  }
+}
+
 TEST(AuctionCodec, GarbageRejectedEverywhere) {
   crypto::Rng rng(99);
   for (int trial = 0; trial < 50; ++trial) {

@@ -1,0 +1,151 @@
+// Equivalence: the optimized welfare solvers must return *byte-identical*
+// Assignments to the retained reference implementations (the seed-tree code
+// in welfare_reference.hpp) on every instance, active mask, and seed. This
+// is what makes the perf suite's solver speedups like-for-like, and what
+// keeps optimized and unoptimized providers cross-validating successfully in
+// a mixed deployment.
+#include <gtest/gtest.h>
+
+#include "auction/welfare.hpp"
+#include "auction/welfare_reference.hpp"
+#include "auction/workload.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "serde/auction_codec.hpp"
+
+namespace dauct::auction {
+namespace {
+
+AuctionInstance random_instance(std::size_t users, std::size_t providers,
+                                std::uint64_t seed) {
+  crypto::Rng rng(seed);
+  return generate(standard_auction_workload(users, providers), rng);
+}
+
+std::vector<bool> random_mask(std::size_t n, crypto::Rng& rng) {
+  std::vector<bool> mask(n, true);
+  // Knock out ~1/4 of the bidders — the shape of Clarke-pivot re-solves.
+  for (std::size_t i = 0; i < n; ++i) mask[i] = rng.next_below(4) != 0;
+  return mask;
+}
+
+TEST(ExactEquivalence, FullSolveAcrossSeeds) {
+  const ExactSolver opt;
+  const reference::ReferenceExactSolver ref;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const AuctionInstance inst = random_instance(14 + seed % 5, 2 + seed % 4, seed);
+    const Assignment a = opt.solve_all(inst, seed);
+    const Assignment b = ref.solve_all(inst, seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(ExactEquivalence, AcceptanceSizeInstance) {
+  // The perf-suite acceptance configuration: 24 bids, 4 providers.
+  const AuctionInstance inst = random_instance(24, 4, 7);
+  EXPECT_EQ(ExactSolver().solve_all(inst, 0),
+            reference::ReferenceExactSolver().solve_all(inst, 0));
+}
+
+TEST(ExactEquivalence, ActiveMasks) {
+  const ExactSolver opt;
+  const reference::ReferenceExactSolver ref;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const AuctionInstance inst = random_instance(12, 3, seed);
+    crypto::Rng mask_rng(seed * 31);
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::vector<bool> mask = random_mask(inst.bids.size(), mask_rng);
+      EXPECT_EQ(opt.solve(inst, mask, seed), ref.solve(inst, mask, seed))
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+TEST(ExactEquivalence, EqualCapacityProviders) {
+  // Identical providers exercise the symmetry-breaking path; results must
+  // still match the exhaustive reference exactly.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    AuctionInstance inst = random_instance(12, 4, seed);
+    for (auto& a : inst.asks) a.capacity = Money::from_double(1.5);
+    EXPECT_EQ(ExactSolver().solve_all(inst, seed),
+              reference::ReferenceExactSolver().solve_all(inst, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(ScaledDpEquivalence, FullSolveAcrossSeedsAndEpsilons) {
+  for (const double eps : {0.5, 0.2, 0.1}) {
+    const ScaledDpSolver opt(eps);
+    const reference::ReferenceScaledDpSolver ref(eps);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const AuctionInstance inst = random_instance(20 + seed, 3 + seed % 4, seed);
+      EXPECT_EQ(opt.solve_all(inst, seed * 7), ref.solve_all(inst, seed * 7))
+          << "eps " << eps << " seed " << seed;
+    }
+  }
+}
+
+TEST(ScaledDpEquivalence, ActiveMasks) {
+  const ScaledDpSolver opt(0.1);
+  const reference::ReferenceScaledDpSolver ref(0.1);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AuctionInstance inst = random_instance(24, 4, seed);
+    crypto::Rng mask_rng(seed * 17);
+    const std::vector<bool> mask = random_mask(inst.bids.size(), mask_rng);
+    EXPECT_EQ(opt.solve(inst, mask, seed), ref.solve(inst, mask, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(ScaledDpEquivalence, ParallelTrialsMatchSerial) {
+  // Thread count must be invisible in the result (and in the serde bytes the
+  // providers cross-validate).
+  const ScaledDpSolver serial(0.1, 1);
+  const ScaledDpSolver parallel(0.1, 4);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AuctionInstance inst = random_instance(30, 5, seed);
+    const Assignment a = serial.solve_all(inst, seed);
+    const Assignment b = parallel.solve_all(inst, seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_EQ(serde::encode_assignment(a), serde::encode_assignment(b));
+  }
+}
+
+TEST(ScaledDpEquivalence, FewProvidersManyTrials) {
+  // Small m means many duplicate provider permutations — the memoized path.
+  const ScaledDpSolver opt(0.05);  // 20 trials over 3! = 6 permutations
+  const reference::ReferenceScaledDpSolver ref(0.05);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const AuctionInstance inst = random_instance(16, 3, seed);
+    EXPECT_EQ(opt.solve_all(inst, seed), ref.solve_all(inst, seed)) << "seed " << seed;
+  }
+}
+
+TEST(DigestEquivalence, HardwareAndPortableSha256Agree) {
+  // The CPU-dispatched hasher and the scalar reference must agree on every
+  // length straddling block/padding boundaries (providers on heterogeneous
+  // hosts cross-validate by digest equality).
+  crypto::Rng rng(5);
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{55},
+                          std::size_t{56}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{127}, std::size_t{128},
+                          std::size_t{1000}, std::size_t{4096}}) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_EQ(crypto::sha256(BytesView(data)), crypto::sha256_portable(BytesView(data)))
+        << "len " << len;
+  }
+}
+
+TEST(DigestEquivalence, SolveDigestsStable) {
+  // End-to-end outcome digest: serialize both solvers' assignments and hash —
+  // what output agreement actually compares across providers.
+  const AuctionInstance inst = random_instance(24, 4, 3);
+  const Bytes opt_bytes = serde::encode_assignment(ExactSolver().solve_all(inst, 0));
+  const Bytes ref_bytes =
+      serde::encode_assignment(reference::ReferenceExactSolver().solve_all(inst, 0));
+  EXPECT_EQ(crypto::sha256(BytesView(opt_bytes)), crypto::sha256(BytesView(ref_bytes)));
+}
+
+}  // namespace
+}  // namespace dauct::auction
