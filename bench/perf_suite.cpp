@@ -23,9 +23,11 @@
 // Usage: perf_suite [--min-time-ms=N] [--json=PATH] [--filter=SUBSTR]
 // (JSON defaults to ./BENCH_dauct.json)
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "auction/welfare.hpp"
+#include "blocks/block.hpp"
 #include "auction/welfare_reference.hpp"
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
@@ -120,8 +122,8 @@ Bytes ref_encode_frame(const net::Message& msg) {
   serde::Writer body;
   body.u32(msg.from);
   body.u32(msg.to);
-  body.str(msg.topic);
-  body.bytes(msg.payload);
+  body.str(msg.topic.str());
+  body.bytes(msg.payload.view());
 
   serde::Writer frame;
   frame.u32(static_cast<std::uint32_t>(body.buffer().size()));
@@ -138,7 +140,7 @@ void BM_payload_encode_hash_ref(State& state) {
     msg.to = 2;
     msg.topic = "alloc/iv/digest";
     msg.payload = ref_encode_instance(inst);
-    DoNotOptimize(crypto::sha256_portable(BytesView(msg.payload)));
+    DoNotOptimize(crypto::sha256_portable(msg.payload.view()));
     const Bytes frame = ref_encode_frame(msg);
     bytes += static_cast<std::int64_t>(frame.size());
     DoNotOptimize(frame);
@@ -166,6 +168,98 @@ void BM_payload_encode_hash_opt(State& state) {
 TINYBENCH(BM_payload_encode_hash_opt)->Arg(100)->Arg(1000);
 
 // ---------------------------------------------------------------------------
+// Broadcast fan-out: the per-recipient cost of one m-way broadcast, including
+// the digest every cross-validating recipient needs. The _ref variant
+// replicates the seed messaging spine: a deep copy of the topic string and
+// payload per recipient, each boxed into a heap-allocated std::function event
+// (the seed scheduler's closure-per-message), and a per-recipient SHA-256
+// (the seed digest cache died on copy). The _opt variant is the production
+// path: Endpoint::broadcast aliases one SharedBytes + interned Topic into
+// plain message structs, and the shared digest slot hashes once per
+// broadcast. Equivalence: tests/fanout_test.cpp proves delivered bytes and
+// digests are identical.
+// ---------------------------------------------------------------------------
+
+/// Seed-shaped message: owning topic string + owning payload.
+struct RefMessage {
+  NodeId from = 0, to = 0;
+  std::string topic;
+  Bytes payload;
+};
+
+/// Minimal endpoint delivering into a vector (the mailbox/event-queue model).
+class FanoutEndpoint final : public blocks::Endpoint {
+ public:
+  FanoutEndpoint(NodeId self, std::size_t m) : self_(self), m_(m), rng_(1) {}
+  NodeId self() const override { return self_; }
+  std::size_t num_providers() const override { return m_; }
+  crypto::Rng& rng() override { return rng_; }
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
+    delivered.push_back(net::Message{self_, to, topic, std::move(payload)});
+  }
+  std::vector<net::Message> delivered;
+
+ private:
+  NodeId self_;
+  std::size_t m_;
+  crypto::Rng rng_;
+};
+
+Bytes make_vote_payload() {
+  // A realistic value-batched vote: the encoded 100-bid instance (~3 KB).
+  return serde::encode_instance(make_instance(100, 8, 21));
+}
+
+void BM_broadcast_fanout_ref(State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::string topic = "ba/vb/v";
+  const Bytes payload = make_vote_payload();
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    // Send: one closure-boxed event per recipient, deep-copying topic+payload.
+    std::vector<std::function<void()>> events;
+    events.reserve(m);
+    std::size_t digests = 0;
+    for (NodeId j = 0; j < m; ++j) {
+      RefMessage msg{0, j, topic, payload};  // the seed per-recipient copies
+      events.push_back([msg = std::move(msg), &digests]() mutable {
+        // Deliver: every recipient hashes its own copy (cache died on copy).
+        DoNotOptimize(crypto::sha256(BytesView(msg.payload)));
+        ++digests;
+      });
+    }
+    for (auto& ev : events) ev();
+    bytes += static_cast<std::int64_t>(m * payload.size());
+    DoNotOptimize(digests);
+  }
+  state.SetBytesProcessed(bytes);
+}
+TINYBENCH(BM_broadcast_fanout_ref)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_broadcast_fanout_opt(State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const net::Topic topic("ba/vb/v");
+  const Bytes payload_bytes = make_vote_payload();
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    FanoutEndpoint ep(0, m);
+    // Send: one shared buffer, m refcount bumps into plain message structs.
+    ep.broadcast(topic, SharedBytes(Bytes(payload_bytes)));
+    // Deliver: every recipient asks for the digest; the shared slot computes
+    // it once per broadcast.
+    std::size_t digests = 0;
+    for (const net::Message& msg : ep.delivered) {
+      DoNotOptimize(msg.payload_digest());
+      ++digests;
+    }
+    bytes += static_cast<std::int64_t>(m * payload_bytes.size());
+    DoNotOptimize(digests);
+  }
+  state.SetBytesProcessed(bytes);
+}
+TINYBENCH(BM_broadcast_fanout_opt)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// ---------------------------------------------------------------------------
 // Supporting trajectory points (no retained reference): raw SHA-256
 // throughput, frame round trip, and a full end-to-end simulated distributed
 // auction (the number the paper's figures are made of).
@@ -191,17 +285,30 @@ void BM_frame_roundtrip(State& state) {
 }
 TINYBENCH(BM_frame_roundtrip)->Arg(4096);
 
+// End-to-end scenario sweeps: args are {n users, m providers}, k is the
+// largest coalition the provider count supports (k = ⌈m/2⌉ − 1, m > 2k).
+// The sweep covers the scale band the fan-out work targets — n = 12…512
+// bidders, m = 3…16 providers — for both deployment shapes (the paper's
+// distributed protocol and the trusted-auctioneer baseline). The workload is
+// the paper's Fig-4 double auction: its O(n log n) trade reduction keeps the
+// runs messaging/serde-dominated, so these points track the fan-out spine,
+// not the welfare solvers (those have their own benches above).
+auction::AuctionInstance make_double_instance(std::size_t users, std::size_t m,
+                                              std::uint64_t seed) {
+  crypto::Rng rng(seed);
+  return auction::generate(auction::double_auction_workload(users, m), rng);
+}
+
 void BM_e2e_sim_distributed(State& state) {
   const std::size_t users = static_cast<std::size_t>(state.range(0));
-  auction::StandardAuctionParams params;
-  params.epsilon = 0.25;
-  auto adapter = std::make_shared<core::StandardAuctionAdapter>(params);
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
   core::AuctioneerSpec spec;
-  spec.m = 3;
-  spec.k = 1;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
   spec.num_bidders = users;
   const core::DistributedAuctioneer auctioneer(spec, adapter);
-  const auto inst = make_instance(users, 3, 5);
+  const auto inst = make_double_instance(users, m, 5);
   for (auto _ : state) {
     runtime::SimRunConfig cfg;
     cfg.seed = 99;
@@ -209,7 +316,55 @@ void BM_e2e_sim_distributed(State& state) {
     DoNotOptimize(run.global_outcome.ok());
   }
 }
-TINYBENCH(BM_e2e_sim_distributed)->Arg(12);
+TINYBENCH(BM_e2e_sim_distributed)
+    ->Args({12, 3})
+    ->Args({48, 4})
+    ->Args({128, 8})
+    ->Args({256, 12})
+    ->Args({512, 16});
+
+void BM_e2e_sim_centralized(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  const core::CentralizedAuctioneer auctioneer(adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    const auto run = runtime::SimRuntime(cfg).run_centralized(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_sim_centralized)
+    ->Args({12, 3})
+    ->Args({48, 4})
+    ->Args({128, 8})
+    ->Args({256, 12})
+    ->Args({512, 16});
+
+// Solver-inclusive end-to-end point (the PR 2 trajectory number): the
+// ε-approximate standard auction through the full distributed protocol.
+void BM_e2e_sim_standard(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auction::StandardAuctionParams params;
+  params.epsilon = 0.25;
+  auto adapter = std::make_shared<core::StandardAuctionAdapter>(params);
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_sim_standard)->Args({12, 3})->Args({48, 4});
 
 // ---------------------------------------------------------------------------
 

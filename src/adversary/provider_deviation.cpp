@@ -15,9 +15,9 @@ bool in(const std::vector<NodeId>& set, NodeId id) {
 class Honest final : public DeviationStrategy {
  public:
   std::string name() const override { return "honest"; }
-  std::optional<Bytes> on_send(NodeId, NodeId, const std::string&,
-                               const Bytes& payload) override {
-    return payload;
+  std::optional<SharedBytes> on_send(NodeId, NodeId, const std::string&,
+                                     const SharedBytes& payload) override {
+    return payload;  // alias, not a copy
   }
 };
 
@@ -27,13 +27,13 @@ class ForgeTaskResults final : public DeviationStrategy {
       : coalition_(std::move(coalition)) {}
   std::string name() const override { return "forge-task-results"; }
 
-  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const SharedBytes& payload) override {
     if (!blocks::topic_has_prefix(topic, "alloc/dt") || in(coalition_, to) ||
         payload.empty()) {
       return payload;
     }
-    Bytes forged = payload;
+    Bytes forged = payload.to_bytes();
     forged.back() ^= 0x01;  // corrupt the encoded result
     return forged;
   }
@@ -46,10 +46,10 @@ class CorruptCoinReveal final : public DeviationStrategy {
  public:
   std::string name() const override { return "corrupt-coin-reveal"; }
 
-  std::optional<Bytes> on_send(NodeId, NodeId, const std::string& topic,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId, NodeId, const std::string& topic,
+                               const SharedBytes& payload) override {
     if (topic != "alloc/coin/reveal" || payload.empty()) return payload;
-    Bytes forged = payload;
+    Bytes forged = payload.to_bytes();
     forged[0] ^= 0xff;  // the revealed value no longer opens the commitment
     return forged;
   }
@@ -59,15 +59,15 @@ class EquivocateVotes final : public DeviationStrategy {
  public:
   std::string name() const override { return "equivocate-votes"; }
 
-  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const SharedBytes& payload) override {
     // Vote topics end in "/v" for all three agreement modes.
     if (payload.empty() || !blocks::topic_has_prefix(topic, "ba") ||
         topic.size() < 2 || topic.compare(topic.size() - 2, 2, "/v") != 0) {
       return payload;
     }
     if (to % 2 == 0) return payload;
-    Bytes forged = payload;
+    Bytes forged = payload.to_bytes();
     forged.back() ^= 0x01;  // different vote for odd-id providers
     return forged;
   }
@@ -79,12 +79,12 @@ class ForgeOutputDigest final : public DeviationStrategy {
       : coalition_(std::move(coalition)) {}
   std::string name() const override { return "forge-output-digest"; }
 
-  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string& topic,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId, NodeId to, const std::string& topic,
+                               const SharedBytes& payload) override {
     if (topic != "alloc/out/digest" || in(coalition_, to) || payload.empty()) {
       return payload;
     }
-    Bytes forged = payload;
+    Bytes forged = payload.to_bytes();
     forged[0] ^= 0x01;
     return forged;
   }
@@ -99,8 +99,8 @@ class SelectiveSilence final : public DeviationStrategy {
       : coalition_(std::move(coalition)) {}
   std::string name() const override { return "selective-silence"; }
 
-  std::optional<Bytes> on_send(NodeId, NodeId to, const std::string&,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId, NodeId to, const std::string&,
+                               const SharedBytes& payload) override {
     if (in(coalition_, to)) return payload;
     return std::nullopt;  // drop
   }
@@ -114,11 +114,11 @@ class MisreportAsk final : public DeviationStrategy {
   explicit MisreportAsk(dauct::Money fake_cost) : fake_cost_(fake_cost) {}
   std::string name() const override { return "misreport-ask"; }
 
-  std::optional<Bytes> on_send(NodeId self, NodeId, const std::string& topic,
-                               const Bytes& payload) override {
+  std::optional<SharedBytes> on_send(NodeId self, NodeId, const std::string& topic,
+                               const SharedBytes& payload) override {
     if (topic != "ask/x") return payload;
     // Payload layout: u32 provider + i64 unit_cost + i64 capacity.
-    serde::Reader r{BytesView(payload)};
+    serde::Reader r{payload.view()};
     const std::uint32_t provider = r.u32();
     r.money();  // true cost, discarded
     const dauct::Money capacity = r.money();

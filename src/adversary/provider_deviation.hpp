@@ -24,10 +24,12 @@ class DeviationStrategy {
 
   /// Called for every outgoing message of a coalition member.
   /// Return the (possibly rewritten) payload, or std::nullopt to drop the
-  /// message entirely.
-  virtual std::optional<Bytes> on_send(NodeId self, NodeId to,
-                                       const std::string& topic,
-                                       const Bytes& payload) = 0;
+  /// message entirely. Honest pass-through returns the input SharedBytes
+  /// unchanged (a refcount bump — deviation wrappers do not tax the
+  /// zero-copy fan-out); rewriters materialize a fresh buffer.
+  virtual std::optional<SharedBytes> on_send(NodeId self, NodeId to,
+                                             const std::string& topic,
+                                             const SharedBytes& payload) = 0;
 };
 
 /// Follow the protocol exactly (control arm).
@@ -66,8 +68,8 @@ class DeviantEndpoint final : public blocks::Endpoint {
   std::size_t num_providers() const override { return inner_.num_providers(); }
   crypto::Rng& rng() override { return inner_.rng(); }
 
-  void send(NodeId to, const std::string& topic, Bytes payload) override {
-    auto rewritten = strategy_->on_send(self(), to, topic, payload);
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
+    auto rewritten = strategy_->on_send(self(), to, topic.str(), payload);
     if (!rewritten) return;  // dropped
     inner_.send(to, topic, std::move(*rewritten));
   }

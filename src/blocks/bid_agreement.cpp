@@ -127,7 +127,7 @@ void BidAgreement::check_perbit_done() {
 }
 
 bool BidAgreement::handle(const net::Message& msg) {
-  if (!topic_has_prefix(msg.topic, prefix_)) return false;
+  if (!topic_has_prefix(msg.topic.str(), prefix_)) return false;
   if (result_) return true;
 
   switch (mode_) {
@@ -158,13 +158,14 @@ bool BidAgreement::handle(const net::Message& msg) {
     case AgreementMode::kPerBitMessages: {
       // Route by the bit index embedded in the topic:
       // "<prefix>/bit/<idx>/{v,e}".
+      const std::string& topic = msg.topic.str();
       const std::string bit_prefix = topic_join(prefix_, "bit");
-      if (!topic_has_prefix(msg.topic, bit_prefix)) return false;
+      if (!topic_has_prefix(topic, bit_prefix)) return false;
       const std::size_t idx_begin = bit_prefix.size() + 1;
       std::size_t idx = 0;
       std::size_t pos = idx_begin;
-      while (pos < msg.topic.size() && msg.topic[pos] >= '0' && msg.topic[pos] <= '9') {
-        idx = idx * 10 + static_cast<std::size_t>(msg.topic[pos] - '0');
+      while (pos < topic.size() && topic[pos] >= '0' && topic[pos] <= '9') {
+        idx = idx * 10 + static_cast<std::size_t>(topic[pos] - '0');
         ++pos;
       }
       if (pos == idx_begin || idx >= bit_instances_.size()) return false;

@@ -2,10 +2,10 @@
 
 namespace dauct::blocks {
 
-void Endpoint::broadcast(const std::string& topic, const Bytes& payload) {
+void Endpoint::broadcast(const net::Topic& topic, const SharedBytes& payload) {
   const std::size_t m = num_providers();
   for (NodeId j = 0; j < m; ++j) {
-    send(j, topic, payload);
+    send(j, topic, payload);  // per-recipient cost: one refcount bump
   }
 }
 
@@ -27,7 +27,7 @@ bool topic_has_prefix(std::string_view topic, std::string_view prefix) {
 RoundCollector::RoundCollector(std::size_t num_providers)
     : payloads_(num_providers), seen_(num_providers, false) {}
 
-bool RoundCollector::add(NodeId from, Bytes payload) {
+bool RoundCollector::add(NodeId from, SharedBytes payload) {
   if (from >= seen_.size() || seen_[from]) return false;
   seen_[from] = true;
   payloads_[from] = std::move(payload);

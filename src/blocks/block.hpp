@@ -32,16 +32,21 @@ class Endpoint {
   /// Number of providers m.
   virtual std::size_t num_providers() const = 0;
 
-  /// Send `payload` on `topic` to provider `to`.
-  virtual void send(NodeId to, const std::string& topic, Bytes payload) = 0;
+  /// Send `payload` on `topic` to provider `to`. The payload is a shared
+  /// immutable buffer: implementations alias it (refcount bump), they never
+  /// deep-copy it. Plain `Bytes` arguments convert implicitly (one buffer
+  /// allocation, after which all hops share it).
+  virtual void send(NodeId to, const net::Topic& topic, SharedBytes payload) = 0;
 
   /// Node-local randomness (commitment values and nonces). NOT shared
   /// randomness — that is what the common coin produces.
   virtual crypto::Rng& rng() = 0;
 
   /// Send to all m providers, *including self* (self-delivery keeps round
-  /// bookkeeping uniform: every round collects exactly m messages).
-  void broadcast(const std::string& topic, const Bytes& payload);
+  /// bookkeeping uniform: every round collects exactly m messages). The
+  /// topic, payload bytes, and digest slot are allocated once; every
+  /// recipient's copy aliases them.
+  void broadcast(const net::Topic& topic, const SharedBytes& payload);
 };
 
 /// Join topic components: topic_join("ba", "vote") == "ba/vote".
@@ -51,24 +56,26 @@ std::string topic_join(std::string_view prefix, std::string_view leaf);
 bool topic_has_prefix(std::string_view topic, std::string_view prefix);
 
 /// Collects exactly one payload per provider for one protocol round.
+/// Payloads are stored as shared immutables: collecting `msg.payload` is a
+/// refcount bump on the delivered buffer, not a deep copy.
 class RoundCollector {
  public:
   explicit RoundCollector(std::size_t num_providers);
 
   /// Record a payload from `from`. Returns false on duplicate or
   /// out-of-range sender (a protocol violation the caller turns into ⊥).
-  bool add(NodeId from, Bytes payload);
+  bool add(NodeId from, SharedBytes payload);
 
   bool complete() const { return received_ == payloads_.size(); }
   std::size_t received() const { return received_; }
 
   /// Payloads indexed by NodeId; valid once complete().
-  const std::vector<Bytes>& payloads() const { return payloads_; }
+  const std::vector<SharedBytes>& payloads() const { return payloads_; }
 
   bool has(NodeId from) const { return from < seen_.size() && seen_[from]; }
 
  private:
-  std::vector<Bytes> payloads_;
+  std::vector<SharedBytes> payloads_;
   std::vector<bool> seen_;
   std::size_t received_ = 0;
 };

@@ -106,8 +106,8 @@ void CommonCoin::maybe_decide() {
       return;
     }
     crypto::Commitment commitment;
-    std::copy(commits_.payloads()[j].begin(), commits_.payloads()[j].end(),
-              commitment.digest.begin());
+    const BytesView commit = commits_.payloads()[j].view();
+    std::copy(commit.begin(), commit.end(), commitment.digest.begin());
     if (!crypto::verify(tag_, commitment, opening)) {
       abort(AbortReason::kInvalidCommitment,
             "reveal does not open commitment of provider " + std::to_string(j));

@@ -60,8 +60,8 @@ class CommonCoin {
   void abort(AbortReason reason, std::string detail);
 
   Endpoint& endpoint_;
-  std::string commit_topic_;
-  std::string reveal_topic_;
+  net::Topic commit_topic_;
+  net::Topic reveal_topic_;
   crypto::Digest tag_{};
 
   DistributionSpec spec_;

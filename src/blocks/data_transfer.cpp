@@ -25,7 +25,7 @@ void DataTransfer::start(std::optional<Bytes> my_value) {
     // ignores (topics are instance-scoped). Sending only to `receivers`
     // would also be correct; broadcasting keeps wire bookkeeping uniform
     // and lets sources cross-check each other when they are receivers too.
-    endpoint_.broadcast(topic_, *my_value);
+    endpoint_.broadcast(topic_, std::move(*my_value));
   }
   if (!is_receiver_) {
     // Pure sources / bystanders are done once start() ran.
@@ -75,7 +75,7 @@ void DataTransfer::maybe_decide() {
   }
   // All digests agree, so every copy is (collision-resistance) identical to
   // the first one received.
-  result_ = Outcome<Bytes>(std::move(value_));
+  result_ = Outcome<Bytes>(value_.to_bytes());
 }
 
 }  // namespace dauct::blocks

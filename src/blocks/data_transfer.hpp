@@ -42,7 +42,7 @@ class DataTransfer {
   void maybe_decide();
 
   Endpoint& endpoint_;
-  std::string topic_;
+  net::Topic topic_;
   std::vector<NodeId> sources_;
   bool is_source_ = false;
   bool is_receiver_ = false;
@@ -54,7 +54,7 @@ class DataTransfer {
   // most once.
   std::vector<crypto::Digest> digests_;  // by source rank
   std::vector<bool> seen_;               // by source rank
-  Bytes value_;                          // first received copy
+  SharedBytes value_;                    // first received copy (aliased)
   bool have_value_ = false;
   std::size_t num_received_ = 0;
   std::optional<Outcome<Bytes>> result_;

@@ -35,7 +35,7 @@ class InputValidation {
   void maybe_decide();
 
   Endpoint& endpoint_;
-  std::string topic_;
+  net::Topic topic_;
   RoundCollector digests_;
   Bytes input_;
   crypto::Digest my_digest_{};

@@ -32,7 +32,7 @@ class OutputAgreement {
   void maybe_decide();
 
   Endpoint& endpoint_;
-  std::string topic_;
+  net::Topic topic_;
   RoundCollector digests_;
   Bytes my_result_;
   Bytes my_digest_;  ///< sha256(my_result_), hashed once at start()

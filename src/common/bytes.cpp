@@ -61,4 +61,38 @@ void append(Bytes& dst, BytesView src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }
 
+SharedBytes::SharedBytes(Bytes b) {
+  // The empty buffer stays rep-less: no allocation, digest handled by the
+  // static slot in shared_digest().
+  if (!b.empty()) rep_ = std::make_shared<const Rep>(std::move(b));
+}
+
+SharedBytes SharedBytes::copy(BytesView v) {
+  return SharedBytes(Bytes(v.begin(), v.end()));
+}
+
+const std::array<std::uint8_t, 32>& SharedBytes::shared_digest(DigestFn fn) const {
+  if (!rep_) {
+    // Empty buffers have no rep to cache into; recompute per call (hashing
+    // zero bytes is one compression) rather than latching the first caller's
+    // fn into a process-global slot. The reference stays valid, but its
+    // contents track the most recent call on this thread.
+    thread_local std::array<std::uint8_t, 32> empty_digest;
+    fn(nullptr, 0, empty_digest.data());
+    return empty_digest;
+  }
+  std::call_once(rep_->digest_once,
+                 [&] { fn(rep_->bytes.data(), rep_->bytes.size(), rep_->digest.data()); });
+  return rep_->digest;
+}
+
+std::uint64_t hash64(BytesView data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace dauct

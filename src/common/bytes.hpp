@@ -1,8 +1,12 @@
 // Byte-buffer utilities: the wire currency of every protocol block.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -16,6 +20,88 @@ using Bytes = std::vector<std::uint8_t>;
 
 /// Read-only view over bytes.
 using BytesView = std::span<const std::uint8_t>;
+
+/// A refcounted *immutable* byte buffer: the fan-out currency of the
+/// messaging spine. One broadcast allocates its payload once; every
+/// scheduler event, mailbox entry, and round-collector slot that carries it
+/// afterwards is a refcount bump, not a deep copy. Immutability is what makes
+/// the aliasing safe: there is no API that mutates the bytes after
+/// construction, so a sender cannot tweak a payload its recipients alias.
+///
+/// Each buffer also owns one lazily-computed 32-byte digest slot shared by
+/// every alias (see shared_digest()): the m recipients of a broadcast hash
+/// the payload once between them instead of once each. The compute function
+/// is injected by the caller so this lowest layer stays independent of
+/// crypto/ (net::Message::payload_digest() passes SHA-256).
+class SharedBytes {
+ public:
+  /// Digest computation hook: hash `size` bytes at `data` into `out`.
+  using DigestFn = void (*)(const std::uint8_t* data, std::size_t size,
+                            std::uint8_t out[32]);
+
+  /// Empty buffer (no allocation).
+  SharedBytes() = default;
+
+  /// Take ownership of `b` (move in; the common construction is
+  /// `SharedBytes(writer.take())`). Implicit on purpose: every legacy
+  /// `send(topic, some_bytes)` call site keeps compiling and gains sharing.
+  SharedBytes(Bytes b);  // NOLINT(google-explicit-constructor)
+
+  /// Deep-copy construction from a view (the only copying entry point).
+  static SharedBytes copy(BytesView v);
+
+  const std::uint8_t* data() const { return rep_ ? rep_->bytes.data() : nullptr; }
+  std::size_t size() const { return rep_ ? rep_->bytes.size() : 0; }
+  bool empty() const { return size() == 0; }
+  std::uint8_t operator[](std::size_t i) const { return rep_->bytes[i]; }
+  std::uint8_t front() const { return rep_->bytes.front(); }
+  std::uint8_t back() const { return rep_->bytes.back(); }
+
+  BytesView view() const { return rep_ ? BytesView(rep_->bytes) : BytesView(); }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// Deep copy out (for call sites that need an owning, mutable Bytes).
+  Bytes to_bytes() const { return rep_ ? rep_->bytes : Bytes{}; }
+
+  /// True if `other` aliases the same underlying buffer (not just equal
+  /// bytes) — what the fan-out tests assert.
+  bool same_buffer(const SharedBytes& other) const { return rep_ == other.rep_; }
+
+  /// Number of aliases of the underlying buffer (0 for the empty buffer).
+  long use_count() const { return rep_ ? rep_.use_count() : 0; }
+
+  /// The buffer's shared digest slot: computed by `fn` on first call, cached
+  /// and returned by reference afterwards — across *all* aliases and threads
+  /// (the slot is guarded by a once-flag). All callers must pass the same
+  /// `fn` (in this codebase: SHA-256, via net::Message::payload_digest()).
+  const std::array<std::uint8_t, 32>& shared_digest(DigestFn fn) const;
+
+  /// Value equality (size + bytes), with an alias fast path.
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    if (a.rep_ == b.rep_) return true;
+    const BytesView av = a.view(), bv = b.view();
+    return av.size() == bv.size() &&
+           std::equal(av.begin(), av.end(), bv.begin());
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    const BytesView av = a.view();
+    return av.size() == b.size() && std::equal(av.begin(), av.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) { return b == a; }
+
+ private:
+  struct Rep {
+    explicit Rep(Bytes b) : bytes(std::move(b)) {}
+    const Bytes bytes;
+    mutable std::once_flag digest_once;
+    mutable std::array<std::uint8_t, 32> digest{};
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// 64-bit FNV-1a over `data`. Not cryptographic — a cheap grouping key for
+/// majority counting (raw bytes are still compared on hash agreement).
+std::uint64_t hash64(BytesView data);
 
 /// Hex-encode `data` (lowercase, two chars per byte).
 std::string to_hex(BytesView data);

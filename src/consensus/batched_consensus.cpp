@@ -1,7 +1,5 @@
 #include "consensus/batched_consensus.hpp"
 
-#include <map>
-
 #include "crypto/sha256.hpp"
 #include "serde/codec.hpp"
 
@@ -18,13 +16,16 @@ Bytes encode_slots(const std::vector<Bytes>& slots) {
   return w.take();
 }
 
-std::optional<std::vector<Bytes>> decode_slots(BytesView data, std::size_t expected) {
+/// Zero-copy decode: views into `data`. Valid while the backing buffer lives —
+/// callers pass views into SharedBytes payloads held by the vote collector.
+std::optional<std::vector<BytesView>> decode_slot_views(BytesView data,
+                                                        std::size_t expected) {
   serde::Reader r(data);
   const std::uint64_t n = r.varint();
   if (!r.ok() || n != expected) return std::nullopt;
-  std::vector<Bytes> out;
+  std::vector<BytesView> out;
   out.reserve(expected);
-  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.bytes());
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.bytes_view());
   if (!r.at_end()) return std::nullopt;
   return out;
 }
@@ -53,7 +54,7 @@ void BatchedConsensus::abort(AbortReason reason, std::string detail) {
 bool BatchedConsensus::handle(const net::Message& msg) {
   if (msg.topic == vote_topic_) {
     if (result_) return true;
-    if (!decode_slots(msg.payload, num_slots_)) {
+    if (!decode_slot_views(msg.payload.view(), num_slots_)) {
       abort(AbortReason::kProtocolViolation, "malformed batched vote");
       return true;
     }
@@ -97,13 +98,13 @@ void BatchedConsensus::maybe_echo() {
     const crypto::Digest& d = vote_digests_[j];
     append(echo, BytesView(d.data(), d.size()));
   }
-  endpoint_.broadcast(echo_topic_, echo);
+  endpoint_.broadcast(echo_topic_, std::move(echo));
 }
 
 void BatchedConsensus::maybe_decide() {
   if (result_ || !echoes_.complete() || !votes_.complete()) return;
 
-  const Bytes& reference = echoes_.payloads()[0];
+  const SharedBytes& reference = echoes_.payloads()[0];
   for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
     if (echoes_.payloads()[j] != reference) {
       abort(AbortReason::kEquivocationDetected,
@@ -113,12 +114,14 @@ void BatchedConsensus::maybe_decide() {
   }
 
   // All received identical vote sets. Decide per slot by strict majority of
-  // exact values; fallback = empty bytes (neutral) when no majority.
+  // exact values; fallback = empty bytes (neutral) when no majority. The
+  // vote payloads stay in the collector's shared buffers, so the per-sender
+  // slot vectors are views, not copies.
   const std::size_t m = endpoint_.num_providers();
-  std::vector<std::vector<Bytes>> votes_by_sender;
+  std::vector<std::vector<BytesView>> votes_by_sender;
   votes_by_sender.reserve(m);
   for (NodeId j = 0; j < m; ++j) {
-    auto slots = decode_slots(votes_.payloads()[j], num_slots_);
+    auto slots = decode_slot_views(votes_.payloads()[j].view(), num_slots_);
     if (!slots) {
       abort(AbortReason::kProtocolViolation, "undecodable agreed vote");
       return;
@@ -126,15 +129,40 @@ void BatchedConsensus::maybe_decide() {
     votes_by_sender.push_back(std::move(*slots));
   }
 
+  // Majority per slot, grouped by a cheap 64-bit slot digest: raw bytes are
+  // only compared when digests agree (confirming a group member) — no
+  // ordered-map key compares, no per-slot-value allocations.
+  struct Candidate {
+    std::uint64_t digest;
+    BytesView value;
+    std::size_t count;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(m);
+  std::vector<std::uint64_t> slot_digests(m);
+
   std::vector<Bytes> decided(num_slots_);
   for (std::size_t s = 0; s < num_slots_; ++s) {
-    std::map<Bytes, std::size_t> counts;
+    candidates.clear();
     for (std::size_t j = 0; j < m; ++j) {
-      ++counts[votes_by_sender[j][s]];
+      slot_digests[j] = hash64(votes_by_sender[j][s]);
     }
-    for (const auto& [value, count] : counts) {
-      if (count * 2 > m) {
-        decided[s] = value;
+    for (std::size_t j = 0; j < m; ++j) {
+      const BytesView v = votes_by_sender[j][s];
+      bool grouped = false;
+      for (Candidate& c : candidates) {
+        if (c.digest == slot_digests[j] && c.value.size() == v.size() &&
+            std::equal(v.begin(), v.end(), c.value.begin())) {
+          ++c.count;
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) candidates.push_back(Candidate{slot_digests[j], v, 1});
+    }
+    for (const Candidate& c : candidates) {
+      if (c.count * 2 > m) {
+        decided[s].assign(c.value.begin(), c.value.end());
         break;
       }
     }

@@ -37,8 +37,8 @@ class BatchedConsensus {
   void abort(AbortReason reason, std::string detail);
 
   blocks::Endpoint& endpoint_;
-  std::string vote_topic_;
-  std::string echo_topic_;
+  net::Topic vote_topic_;
+  net::Topic echo_topic_;
   std::size_t num_slots_;
 
   blocks::RoundCollector votes_;

@@ -57,14 +57,14 @@ void BitConsensus::maybe_echo() {
   for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
     vector[j] = votes_.payloads()[j][0];
   }
-  endpoint_.broadcast(echo_topic_, vector);
+  endpoint_.broadcast(echo_topic_, std::move(vector));
 }
 
 void BitConsensus::maybe_decide() {
   if (result_ || !echoes_.complete() || !echoed_) return;
 
   // Cross-validate: every echo must report the identical vote vector.
-  const Bytes& reference = echoes_.payloads()[0];
+  const SharedBytes& reference = echoes_.payloads()[0];
   for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
     if (echoes_.payloads()[j] != reference) {
       abort(AbortReason::kEquivocationDetected,
@@ -75,7 +75,7 @@ void BitConsensus::maybe_decide() {
 
   // Majority of the agreed vote vector; ties go to provider 0's bit.
   std::size_t ones = 0;
-  for (std::uint8_t b : reference) ones += b;
+  for (std::uint8_t b : reference.view()) ones += b;
   const std::size_t m = reference.size();
   bool decision;
   if (ones * 2 > m) {

@@ -47,8 +47,8 @@ class BitConsensus {
   void abort(AbortReason reason, std::string detail);
 
   blocks::Endpoint& endpoint_;
-  std::string vote_topic_;
-  std::string echo_topic_;
+  net::Topic vote_topic_;
+  net::Topic echo_topic_;
 
   blocks::RoundCollector votes_;
   blocks::RoundCollector echoes_;

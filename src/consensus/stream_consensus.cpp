@@ -66,13 +66,13 @@ void StreamConsensus::maybe_echo() {
   for (NodeId j = 0; j < endpoint_.num_providers(); ++j) {
     append(echo, votes_.payloads()[j]);
   }
-  endpoint_.broadcast(echo_topic_, echo);
+  endpoint_.broadcast(echo_topic_, std::move(echo));
 }
 
 void StreamConsensus::maybe_decide() {
   if (result_ || !echoes_.complete()) return;
 
-  const Bytes& reference = echoes_.payloads()[0];
+  const SharedBytes& reference = echoes_.payloads()[0];
   for (NodeId j = 1; j < endpoint_.num_providers(); ++j) {
     if (echoes_.payloads()[j] != reference) {
       abort(AbortReason::kEquivocationDetected,

@@ -36,8 +36,8 @@ class StreamConsensus {
   void abort(AbortReason reason, std::string detail);
 
   blocks::Endpoint& endpoint_;
-  std::string vote_topic_;
-  std::string echo_topic_;
+  net::Topic vote_topic_;
+  net::Topic echo_topic_;
   std::size_t num_bits_;
   std::size_t packed_len_;
 

@@ -159,7 +159,7 @@ void ParallelAllocator::progress() {
 }
 
 bool ParallelAllocator::handle(const net::Message& msg) {
-  if (!blocks::topic_has_prefix(msg.topic, prefix_)) return false;
+  if (!blocks::topic_has_prefix(msg.topic.str(), prefix_)) return false;
 
   if (input_validation_.handle(msg)) {
     if (input_validation_.done() && !tasks_running_ && !result_ &&

@@ -64,12 +64,12 @@ class ProviderEngine {
   ParallelAllocator allocator_;
 
   // Ask exchange round.
-  std::string ask_topic_;
+  net::Topic ask_topic_;
   blocks::RoundCollector asks_;
   std::vector<auction::Ask> ask_vector_;
 
   // Abort fan-out.
-  std::string abort_topic_;
+  net::Topic abort_topic_;
   bool abort_sent_ = false;
 
   bool allocator_started_ = false;

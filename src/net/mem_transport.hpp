@@ -70,7 +70,7 @@ class MemEndpoint final : public blocks::Endpoint {
   NodeId self() const override { return self_; }
   std::size_t num_providers() const override { return num_providers_; }
 
-  void send(NodeId to, const std::string& topic, Bytes payload) override {
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
     network_.post(Message{self_, to, topic, std::move(payload)});
   }
 

@@ -6,6 +6,19 @@
 
 namespace dauct::net {
 
+namespace {
+void sha256_into(const std::uint8_t* data, std::size_t size, std::uint8_t out[32]) {
+  const crypto::Digest d = crypto::sha256(BytesView(data, size));
+  std::copy(d.begin(), d.end(), out);
+}
+}  // namespace
+
+const crypto::Digest& Message::payload_digest() const {
+  static_assert(std::is_same_v<crypto::Digest, std::array<std::uint8_t, 32>>,
+                "the SharedBytes digest slot doubles as a crypto::Digest");
+  return payload.shared_digest(&sha256_into);
+}
+
 Bytes encode_frame(const Message& msg) {
   // Exact frame size, known up front: one reservation, no body→frame copy.
   const std::size_t body_len = 4 + 4 + serde::varint_len(msg.topic.size()) +
@@ -16,8 +29,8 @@ Bytes encode_frame(const Message& msg) {
   w.u32(static_cast<std::uint32_t>(body_len));
   w.u32(msg.from);
   w.u32(msg.to);
-  w.str(msg.topic);
-  w.bytes(msg.payload);
+  w.str(msg.topic.str());
+  w.bytes(msg.payload.view());
   return w.take();
 }
 
@@ -34,11 +47,11 @@ std::optional<DecodedFrame> decode_frame(BytesView data) {
   DecodedFrame out;
   out.message.from = r.u32();
   out.message.to = r.u32();
-  // View-based reads: one copy into the owning Message fields, no
-  // intermediate Bytes temporaries.
-  out.message.topic = std::string(r.str_view());
-  const BytesView payload = r.bytes_view();
-  out.message.payload.assign(payload.begin(), payload.end());
+  // View-based reads: the topic interns straight from the view; the payload
+  // is copied exactly once, into the immutable shared buffer every in-process
+  // hop aliases from here on.
+  out.message.topic = Topic(r.str_view());
+  out.message.payload = SharedBytes::copy(r.bytes_view());
   if (!r.at_end()) {
     throw std::length_error("decode_frame: malformed frame body");
   }

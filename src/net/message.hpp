@@ -4,6 +4,13 @@
 // payload belongs to (e.g. "ba/vote", "alloc/dt/2/val"). Topics provide
 // domain separation at the routing level; payloads are opaque bytes encoded
 // with serde.
+//
+// Fan-out is zero-copy: `topic` is an interned id (net/topic.hpp) and
+// `payload` a refcounted immutable buffer (SharedBytes), so copying a Message
+// — per recipient of a broadcast, into the scheduler, into a mailbox — bumps
+// a refcount instead of duplicating the bytes. The payload digest lives in a
+// slot shared by every alias of the buffer: the m recipients of one broadcast
+// hash the payload once between them.
 #pragma once
 
 #include <optional>
@@ -12,62 +19,28 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "crypto/sha256.hpp"
+#include "net/topic.hpp"
 
 namespace dauct::net {
 
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  std::string topic;
-  Bytes payload;
+  Topic topic{};
+  SharedBytes payload{};
 
   /// Approximate size on the wire (header + topic + payload); used by the
   /// latency model to charge serialization delay.
   std::size_t wire_size() const { return 16 + topic.size() + payload.size(); }
 
-  /// SHA-256 of `payload`, computed lazily and cached — cross-validating
-  /// blocks (data transfer, batched-consensus echoes) hash the same payload
-  /// bytes at most once per message. The cache deliberately does NOT survive
-  /// copies or moves (copied/moved-from Messages restart cold), so the
-  /// common copy-then-tweak-payload pattern cannot observe a stale digest.
-  /// Contract on a single object: don't mutate `payload` directly after the
-  /// first call — use set_payload(), which resets the cache.
-  const crypto::Digest& payload_digest() const {
-    if (!digest_cache_.cached) {
-      digest_cache_.digest = crypto::sha256(BytesView(payload));
-      digest_cache_.cached = true;
-    }
-    return digest_cache_.digest;
-  }
+  /// SHA-256 of `payload`, computed lazily into the buffer's shared digest
+  /// slot: at most one hash per underlying buffer, across all aliasing
+  /// messages (every recipient of a broadcast, every collector slot) and
+  /// across threads. Payloads are immutable, so the cache can never go stale.
+  const crypto::Digest& payload_digest() const;
 
-  /// Replace the payload, invalidating any cached digest.
-  void set_payload(Bytes p) {
-    payload = std::move(p);
-    digest_cache_.cached = false;
-  }
-
-  /// Digest cache slot: every copy/move starts cold (and a moved-from source
-  /// is reset, its payload having been stolen). Public member so Message
-  /// stays an aggregate — brace-init with the four routing/payload fields
-  /// still works; treat as internal.
-  struct PayloadDigestCache {
-    PayloadDigestCache() = default;
-    PayloadDigestCache(const PayloadDigestCache&) {}
-    PayloadDigestCache(PayloadDigestCache&& other) noexcept { other.cached = false; }
-    PayloadDigestCache& operator=(const PayloadDigestCache&) {
-      cached = false;
-      return *this;
-    }
-    PayloadDigestCache& operator=(PayloadDigestCache&& other) noexcept {
-      cached = false;
-      other.cached = false;
-      return *this;
-    }
-
-    mutable crypto::Digest digest{};
-    mutable bool cached = false;
-  };
-  PayloadDigestCache digest_cache_{};
+  /// Replace the payload (new buffer, fresh digest slot).
+  void set_payload(SharedBytes p) { payload = std::move(p); }
 };
 
 /// Length-prefixed frame encoding for stream transports (TCP). Single-buffer:

@@ -82,7 +82,7 @@ class TcpEndpoint final : public blocks::Endpoint {
   NodeId self() const override { return node_.self(); }
   std::size_t num_providers() const override { return num_providers_; }
 
-  void send(NodeId to, const std::string& topic, Bytes payload) override {
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
     node_.send(Message{node_.self(), to, topic, std::move(payload)});
   }
 

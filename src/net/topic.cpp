@@ -1,0 +1,70 @@
+#include "net/topic.hpp"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+namespace dauct::net {
+
+namespace {
+
+/// Append-only topic registry. `strings` is a deque so interned entries keep
+/// stable addresses; the index keys are views into those entries. All access
+/// goes through the mutex — readers never touch the registry because Topic
+/// carries the string pointer itself.
+struct Registry {
+  std::mutex mutex;
+  std::deque<std::string> strings;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+
+  Registry() { intern(""); }  // id 0 == the empty topic
+
+  std::pair<std::uint32_t, const std::string*> intern(std::string_view s) {
+    std::lock_guard lock(mutex);
+    if (auto it = index.find(s); it != index.end()) {
+      return {it->second, &strings[it->second]};
+    }
+    const auto id = static_cast<std::uint32_t>(strings.size());
+    strings.emplace_back(s);
+    index.emplace(std::string_view(strings.back()), id);
+    return {id, &strings.back()};
+  }
+
+  std::size_t size() {
+    std::lock_guard lock(mutex);
+    return strings.size();
+  }
+};
+
+Registry& registry() {
+  static Registry r;  // immortal (function-local static): Topics never dangle
+  return r;
+}
+
+const std::string& empty_string() {
+  static const std::string s;
+  return s;
+}
+
+}  // namespace
+
+Topic::Topic() : id_(0), str_(&empty_string()) {}
+
+Topic::Topic(std::string_view s) {
+  const auto [id, str] = registry().intern(s);
+  id_ = id;
+  str_ = str;
+}
+
+Topic::Topic(const std::string& s) : Topic(std::string_view(s)) {}
+Topic::Topic(const char* s) : Topic(std::string_view(s)) {}
+
+std::ostream& operator<<(std::ostream& os, const Topic& t) {
+  return os << t.str();
+}
+
+std::size_t topic_registry_size() { return registry().size(); }
+
+}  // namespace dauct::net

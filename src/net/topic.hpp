@@ -1,0 +1,54 @@
+// Interned routing topics.
+//
+// Topics are hierarchical strings ("ba/vb/v", "alloc/dt/2/val") that every
+// block compares against its own topics for every delivered message. Interning
+// turns those per-message comparisons into integer equality: a Topic is a
+// 32-bit id plus a pointer to the canonical string in a process-wide
+// append-only registry. Routing compares ids; traces, TCP frames, and prefix
+// dispatch still read the string through str() (a plain pointer dereference —
+// no registry access, so it is lock-free and safe from any thread).
+//
+// The registry is bounded by the protocol structure (a handful of topics per
+// block instance), not by traffic: interning happens at block construction
+// and once per *decoded* TCP frame, never per simulated message.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace dauct::net {
+
+class Topic {
+ public:
+  /// The empty topic (id 0). Registry-free.
+  Topic();
+
+  /// Intern `s` (implicit: topic-expecting APIs accept plain strings).
+  Topic(std::string_view s);       // NOLINT(google-explicit-constructor)
+  Topic(const std::string& s);     // NOLINT(google-explicit-constructor)
+  Topic(const char* s);            // NOLINT(google-explicit-constructor)
+
+  std::uint32_t id() const { return id_; }
+  const std::string& str() const { return *str_; }
+  std::size_t size() const { return str_->size(); }
+  bool empty() const { return str_->empty(); }
+
+  /// Routing equality: one integer compare. Comparing against a plain string
+  /// interns it first via the implicit constructors — fine in tests and cold
+  /// paths; hot paths hold pre-interned Topic values.
+  friend bool operator==(const Topic& a, const Topic& b) { return a.id_ == b.id_; }
+  friend bool operator!=(const Topic& a, const Topic& b) { return a.id_ != b.id_; }
+
+ private:
+  std::uint32_t id_;
+  const std::string* str_;  ///< canonical string; stable for process lifetime
+};
+
+std::ostream& operator<<(std::ostream& os, const Topic& t);
+
+/// Number of distinct topics interned so far (diagnostics/tests).
+std::size_t topic_registry_size();
+
+}  // namespace dauct::net

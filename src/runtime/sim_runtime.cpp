@@ -105,7 +105,10 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
 
   // Per-provider delivery: client bids start the engine; everything else is
   // protocol traffic. A provider reports to the client exactly once, as soon
-  // as its outcome is decided.
+  // as its outcome is decided. Topics are interned once here; the per-message
+  // dispatch below is integer compares.
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
   std::vector<bool> reported(m, false);
   std::vector<sim::SimTime> ba_done(m, 0), eng_done(m, 0);
   std::size_t results_at_client = 0;
@@ -114,7 +117,7 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   for (NodeId j = 0; j < m; ++j) {
     scheduler.set_deliver(j, [&, j](const net::Message& msg) {
       core::ProviderEngine& engine = *engines[j];
-      if (msg.topic == kBidsTopic) {
+      if (msg.topic == bids_topic) {
         auto subs = decode_submissions(BytesView(msg.payload));
         if (subs) {
           engine.start(sanitize_submissions(*subs, auctioneer.spec().limits));
@@ -138,13 +141,13 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
         } else {
           w.u8(static_cast<std::uint8_t>(out.bottom().reason));
         }
-        scheduler.send(net::Message{j, client, kResultTopic, w.take()});
+        scheduler.send(net::Message{j, client, result_topic, w.take()});
       }
     });
   }
 
   scheduler.set_deliver(client, [&](const net::Message& msg) {
-    if (msg.topic == kResultTopic) {
+    if (msg.topic == result_topic) {
       ++results_at_client;
       if (results_at_client == m) client_done_at = scheduler.now();
     }
@@ -166,7 +169,7 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
       subs[i] = behaviour->bid_for(instance.bids[i], j, bidder_rng);
     }
     scheduler.inject(sim::kSimStart,
-                     net::Message{client, j, kBidsTopic, encode_submissions(subs)});
+                     net::Message{client, j, bids_topic, encode_submissions(subs)});
   }
 
   const bool overflow = scheduler.run_some(config_.max_events);
@@ -198,6 +201,8 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
                                          const auction::AuctionInstance& instance) {
   // Node 0 = the trusted auctioneer, node 1 = the client.
   const NodeId trusted = 0, client = 1;
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
   sim::Scheduler scheduler(2, config_.latency, config_.seed, config_.cost_mode);
   scheduler.set_cpu_scale(config_.cpu_scale);
 
@@ -209,19 +214,19 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
   bool client_got_result = false;
 
   scheduler.set_deliver(trusted, [&](const net::Message& msg) {
-    if (msg.topic != kBidsTopic) return;
+    if (msg.topic != bids_topic) return;
     auto subs = decode_submissions(BytesView(msg.payload));
     if (!subs) return;
     auction::AuctionInstance run_instance;
     run_instance.bids = sanitize_submissions(*subs, auction::BidLimits{});
     run_instance.asks = instance.asks;
     result_value = auctioneer.run(run_instance, coin);
-    scheduler.send(net::Message{trusted, client, kResultTopic,
+    scheduler.send(net::Message{trusted, client, result_topic,
                                 serde::encode_result(*result_value)});
   });
 
   scheduler.set_deliver(client, [&](const net::Message& msg) {
-    if (msg.topic == kResultTopic) {
+    if (msg.topic == result_topic) {
       client_got_result = true;
       client_done_at = scheduler.now();
     }
@@ -231,7 +236,7 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
   std::vector<std::optional<auction::Bid>> subs(instance.bids.size());
   for (std::size_t i = 0; i < instance.bids.size(); ++i) subs[i] = instance.bids[i];
   scheduler.inject(sim::kSimStart,
-                   net::Message{client, trusted, kBidsTopic, encode_submissions(subs)});
+                   net::Message{client, trusted, bids_topic, encode_submissions(subs)});
 
   scheduler.run_some(config_.max_events);
 

@@ -16,6 +16,8 @@ TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auct
                                          const auction::AuctionInstance& instance) {
   const std::size_t m = auctioneer.spec().m;
   const NodeId client = static_cast<NodeId>(m);
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
 
   net::TcpPeers peers;
   peers.base_port = config_.base_port != 0
@@ -52,24 +54,25 @@ TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auct
       core::ProviderEngine& engine = *engines[j];
       bool reported = false;
       while (auto msg = nodes[j]->inbox().pop()) {
-        if (msg->topic == kBidsTopic) {
-          auto bids = serde::decode_bid_vector(BytesView(msg->payload));
+        if (msg->topic == bids_topic) {
+          auto bids = serde::decode_bid_vector(msg->payload.view());
           if (bids) engine.start(*bids);
         } else {
           engine.on_message(*msg);
         }
         if (engine.done() && !reported) {
           reported = true;
-          nodes[j]->send(net::Message{j, client, kResultTopic, Bytes{}});
+          nodes[j]->send(net::Message{j, client, result_topic, Bytes{}});
         }
       }
     });
   }
 
   // Client: one bid batch per provider, then await m reports.
-  const Bytes bid_payload = serde::encode_bid_vector(instance.bids);
+  // One shared buffer for the bid batch: every provider's copy aliases it.
+  const SharedBytes bid_payload(serde::encode_bid_vector(instance.bids));
   for (NodeId j = 0; j < m; ++j) {
-    if (!nodes[client]->send(net::Message{client, j, kBidsTopic, bid_payload})) {
+    if (!nodes[client]->send(net::Message{client, j, bids_topic, bid_payload})) {
       DAUCT_ERROR("tcp runtime: bid submission to provider " << j << " failed");
     }
   }
@@ -85,7 +88,7 @@ TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auct
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     if (auto msg = nodes[client]->inbox().pop_for(remaining)) {
-      if (msg->topic == kResultTopic) ++reports;
+      if (msg->topic == result_topic) ++reports;
     } else if (std::chrono::steady_clock::now() >= deadline) {
       result.timed_out = true;
       break;

@@ -17,6 +17,8 @@ ThreadRunResult ThreadRuntime::run_distributed(
     const auction::AuctionInstance& instance) {
   const std::size_t m = auctioneer.spec().m;
   const NodeId client = static_cast<NodeId>(m);
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
   net::MemNetwork network(m + 1);
 
   crypto::Rng seeder(config_.seed ^ 0x7713adULL);
@@ -46,24 +48,25 @@ ThreadRunResult ThreadRuntime::run_distributed(
       core::ProviderEngine& engine = *engines[j];
       bool reported = false;
       while (auto msg = network.mailbox(j).pop()) {
-        if (msg->topic == kBidsTopic) {
-          auto bids = serde::decode_bid_vector(BytesView(msg->payload));
+        if (msg->topic == bids_topic) {
+          auto bids = serde::decode_bid_vector(msg->payload.view());
           if (bids) engine.start(*bids);
         } else {
           engine.on_message(*msg);
         }
         if (engine.done() && !reported) {
           reported = true;
-          network.post(net::Message{j, client, kResultTopic, Bytes{}});
+          network.post(net::Message{j, client, result_topic, Bytes{}});
         }
       }
     });
   }
 
   // The client: submit all bids to every provider, then await m reports.
-  const Bytes bid_payload = serde::encode_bid_vector(instance.bids);
+  // One shared buffer for the bid batch: every provider's copy aliases it.
+  const SharedBytes bid_payload(serde::encode_bid_vector(instance.bids));
   for (NodeId j = 0; j < m; ++j) {
-    network.post(net::Message{client, j, kBidsTopic, bid_payload});
+    network.post(net::Message{client, j, bids_topic, bid_payload});
   }
 
   ThreadRunResult result;
@@ -78,7 +81,7 @@ ThreadRunResult ThreadRuntime::run_distributed(
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     if (auto msg = network.mailbox(client).pop_for(remaining)) {
-      if (msg->topic == kResultTopic) ++reports;
+      if (msg->topic == result_topic) ++reports;
     } else if (std::chrono::steady_clock::now() >= deadline) {
       result.timed_out = true;
       break;

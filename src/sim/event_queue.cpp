@@ -13,7 +13,13 @@ std::string format_time(SimTime t) {
 }
 
 void EventQueue::schedule(SimTime at, Callback fn) {
-  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  assert(fn && "callback events must carry a callable");
+  heap_.push_back(Event{at, next_seq_++, std::move(fn), net::Message{}});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::schedule_message(SimTime at, net::Message msg) {
+  heap_.push_back(Event{at, next_seq_++, nullptr, std::move(msg)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
@@ -25,13 +31,18 @@ SimTime EventQueue::next_time() const {
 SimTime EventQueue::run_next() {
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  // The earliest event is now at the back: move it out (the callback and its
-  // captured state are not copied) and drop the slot before running, so the
-  // callback may freely schedule new events.
+  // The earliest event is now at the back: move it out (neither the callback
+  // nor the message payload is copied) and drop the slot before running, so
+  // the event may freely schedule new events.
   Event ev = std::move(heap_.back());
   heap_.pop_back();
   ++executed_;
-  ev.fn();
+  if (ev.fn) {
+    ev.fn();
+  } else {
+    assert(message_handler_ && "message event without an installed handler");
+    message_handler_(ev.at, std::move(ev.msg));
+  }
   return ev.at;
 }
 

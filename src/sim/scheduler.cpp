@@ -24,7 +24,12 @@ Scheduler::Scheduler(std::size_t num_nodes, LatencyModel latency, std::uint64_t 
       cost_mode_(cost_mode),
       clocks_(num_nodes, kSimStart),
       handlers_(num_nodes),
-      node_delay_(num_nodes, 0) {}
+      node_delay_(num_nodes, 0) {
+  // In-flight messages ride the event queue as plain structs; this sink is
+  // the single delivery point (callback events remain for non-message uses).
+  queue_.set_message_handler(
+      [this](SimTime at, net::Message&& msg) { deliver(at, std::move(msg)); });
+}
 
 void Scheduler::set_deliver(NodeId node, DeliverFn fn) {
   handlers_.at(node) = std::move(fn);
@@ -45,10 +50,7 @@ void Scheduler::send(net::Message msg) {
     if (msg.from < num_nodes_) lat += node_delay_[msg.from];
     traffic_.messages += 1;
     traffic_.bytes += msg.wire_size();
-    net::Message m = std::move(msg);
-    queue_.schedule(depart + lat, [this, m = std::move(m), t = depart + lat]() mutable {
-      deliver(t, std::move(m));
-    });
+    queue_.schedule_message(depart + lat, std::move(msg));
   }
 }
 
@@ -57,10 +59,7 @@ void Scheduler::inject(SimTime at, net::Message msg) {
   SimTime lat = latency_.sample(msg.wire_size(), rng_) + node_delay_[msg.to];
   traffic_.messages += 1;
   traffic_.bytes += msg.wire_size();
-  const SimTime arrive = at + lat;
-  queue_.schedule(arrive, [this, m = std::move(msg), arrive]() mutable {
-    deliver(arrive, std::move(m));
-  });
+  queue_.schedule_message(at + lat, std::move(msg));
 }
 
 void Scheduler::charge(SimTime cost) {
@@ -75,10 +74,7 @@ void Scheduler::flush_outbox(SimTime depart) {
     if (msg.from < num_nodes_) lat += node_delay_[msg.from];
     traffic_.messages += 1;
     traffic_.bytes += msg.wire_size();
-    const SimTime arrive = depart + lat;
-    queue_.schedule(arrive, [this, m = std::move(msg), arrive]() mutable {
-      deliver(arrive, std::move(m));
-    });
+    queue_.schedule_message(depart + lat, std::move(msg));
   }
   outbox_.clear();
 }
@@ -113,6 +109,9 @@ void Scheduler::deliver(SimTime at, net::Message msg) {
 }
 
 void Scheduler::run() {
+  // Pre-size the trace for at least the already-queued deliveries so the hot
+  // loop does not start with a cascade of small reallocations.
+  if (trace_enabled_) trace_.reserve(trace_.size() + queue_.size());
   while (!queue_.empty()) {
     // Advance the global clock *before* the event runs so handlers observe
     // the current virtual time through now().
@@ -130,13 +129,14 @@ std::string Scheduler::format_trace(std::size_t max_entries) const {
       break;
     }
     out += format_time(e.at) + " " + std::to_string(e.from) + "->" +
-           std::to_string(e.to) + " " + e.topic + " (" + std::to_string(e.bytes) +
-           "B)\n";
+           std::to_string(e.to) + " " + e.topic.str() + " (" +
+           std::to_string(e.bytes) + "B)\n";
   }
   return out;
 }
 
 bool Scheduler::run_some(std::uint64_t max_events) {
+  if (trace_enabled_) trace_.reserve(trace_.size() + queue_.size());
   for (std::uint64_t i = 0; i < max_events && !queue_.empty(); ++i) {
     now_ = queue_.next_time();
     queue_.run_next();

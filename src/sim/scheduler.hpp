@@ -41,12 +41,13 @@ struct TrafficStats {
   std::uint64_t bytes = 0;
 };
 
-/// One delivered message, for trace recording.
+/// One delivered message, for trace recording. The topic is the interned id
+/// (net/topic.hpp): recording a trace entry copies no strings.
 struct TraceEntry {
   SimTime at = 0;          ///< delivery time
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  std::string topic;
+  net::Topic topic;
   std::size_t bytes = 0;
 };
 
@@ -57,6 +58,10 @@ class Scheduler {
   /// `num_nodes` includes any client nodes beyond the providers.
   Scheduler(std::size_t num_nodes, LatencyModel latency, std::uint64_t seed,
             CostMode cost_mode = CostMode::kZero);
+
+  // Pinned: the event queue's message sink captures `this` at construction.
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   /// Install the message handler of `node`.
   void set_deliver(NodeId node, DeliverFn fn);

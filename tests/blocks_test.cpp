@@ -26,11 +26,11 @@ TEST(TopicUtil, JoinAndPrefix) {
 TEST(RoundCollector, CollectsOnePerProvider) {
   RoundCollector rc(3);
   EXPECT_FALSE(rc.complete());
-  EXPECT_TRUE(rc.add(0, {1}));
-  EXPECT_FALSE(rc.add(0, {2}));  // duplicate
-  EXPECT_FALSE(rc.add(7, {3}));  // out of range
-  EXPECT_TRUE(rc.add(2, {4}));
-  EXPECT_TRUE(rc.add(1, {5}));
+  EXPECT_TRUE(rc.add(0, Bytes{1}));
+  EXPECT_FALSE(rc.add(0, Bytes{2}));  // duplicate
+  EXPECT_FALSE(rc.add(7, Bytes{3}));  // out of range
+  EXPECT_TRUE(rc.add(2, Bytes{4}));
+  EXPECT_TRUE(rc.add(1, Bytes{5}));
   EXPECT_TRUE(rc.complete());
   EXPECT_EQ(rc.payloads()[2], Bytes{4});
 }

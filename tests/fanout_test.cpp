@@ -1,0 +1,278 @@
+// Zero-copy fan-out tests: one broadcast must allocate its payload (and
+// digest) once, with every delivered copy aliasing the same immutable buffer
+// — plus the pre-refactor equivalence pins (PR 2 style): fixed-seed runs must
+// remain byte-identical to the implementation that deep-copied per recipient.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "blocks/block.hpp"
+#include "core/adapters.hpp"
+#include "crypto/sha256.hpp"
+#include "net/message.hpp"
+#include "net/topic.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "serde/auction_codec.hpp"
+#include "test_util.hpp"
+
+namespace dauct {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SharedBytes semantics
+// ---------------------------------------------------------------------------
+
+TEST(SharedBytes, AliasesAndValueEquality) {
+  SharedBytes a(Bytes{1, 2, 3});
+  SharedBytes b = a;  // alias
+  SharedBytes c(Bytes{1, 2, 3});  // equal bytes, distinct buffer
+  EXPECT_TRUE(a.same_buffer(b));
+  EXPECT_FALSE(a.same_buffer(c));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+  EXPECT_NE(a, (Bytes{1, 2, 4}));
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(SharedBytes, EmptyBufferAllocatesNothing) {
+  SharedBytes empty;
+  SharedBytes from_empty_bytes((Bytes{}));
+  EXPECT_TRUE(empty.same_buffer(from_empty_bytes));  // both rep-less
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(empty, from_empty_bytes);
+}
+
+TEST(SharedBytes, SenderSideMutationAfterSharingIsUnobservable) {
+  Bytes original{10, 20, 30};
+  const SharedBytes shared = SharedBytes::copy(BytesView(original));
+  original[0] = 99;  // the sender keeps writing into its own buffer
+  EXPECT_EQ(shared, (Bytes{10, 20, 30}));
+}
+
+TEST(SharedBytes, DigestSlotComputesOnceAcrossAliases) {
+  static std::atomic<int> calls{0};
+  const SharedBytes::DigestFn counting_fn = [](const std::uint8_t* data,
+                                               std::size_t size,
+                                               std::uint8_t out[32]) {
+    ++calls;
+    std::memset(out, 0, 32);
+    if (size > 0) out[0] = data[0];
+  };
+  calls = 0;
+  SharedBytes a(Bytes{7, 8, 9});
+  SharedBytes b = a;
+  const auto& d1 = a.shared_digest(counting_fn);
+  const auto& d2 = b.shared_digest(counting_fn);
+  EXPECT_EQ(calls.load(), 1);      // one buffer, one computation
+  EXPECT_EQ(&d1, &d2);             // the very same slot
+  EXPECT_EQ(d1[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint::broadcast fan-out
+// ---------------------------------------------------------------------------
+
+/// Endpoint that records every sent message verbatim.
+class CollectingEndpoint final : public blocks::Endpoint {
+ public:
+  CollectingEndpoint(NodeId self, std::size_t m) : self_(self), m_(m), rng_(1) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t num_providers() const override { return m_; }
+  crypto::Rng& rng() override { return rng_; }
+
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
+    sent.push_back(net::Message{self_, to, topic, std::move(payload)});
+  }
+
+  std::vector<net::Message> sent;
+
+ private:
+  NodeId self_;
+  std::size_t m_;
+  crypto::Rng rng_;
+};
+
+TEST(Fanout, BroadcastPayloadSharedAcrossAllRecipients) {
+  const std::size_t m = 8;
+  CollectingEndpoint ep(0, m);
+  const SharedBytes payload(Bytes(1024, 0x5a));
+  ep.broadcast("dt/val", payload);
+
+  ASSERT_EQ(ep.sent.size(), m);
+  for (NodeId j = 0; j < m; ++j) {
+    EXPECT_EQ(ep.sent[j].to, j);
+    EXPECT_TRUE(ep.sent[j].payload.same_buffer(payload))
+        << "recipient " << j << " received a deep copy";
+    EXPECT_EQ(ep.sent[j].topic, ep.sent[0].topic);
+  }
+  // m in-flight aliases + the local handle.
+  EXPECT_EQ(payload.use_count(), static_cast<long>(m) + 1);
+}
+
+TEST(Fanout, DigestComputedExactlyOncePerBroadcast) {
+  static std::atomic<int> hash_calls{0};
+  const SharedBytes::DigestFn counting_sha = [](const std::uint8_t* data,
+                                                std::size_t size,
+                                                std::uint8_t out[32]) {
+    ++hash_calls;
+    const crypto::Digest d = crypto::sha256(BytesView(data, size));
+    std::memcpy(out, d.data(), d.size());
+  };
+
+  const std::size_t m = 16;
+  CollectingEndpoint ep(3, m);
+  ep.broadcast("ba/vb/v", SharedBytes(Bytes(4096, 0x11)));
+
+  hash_calls = 0;
+  crypto::Digest reference{};
+  for (const net::Message& msg : ep.sent) {
+    // Every recipient asks for the digest, as the cross-validating blocks do.
+    const auto& d = msg.payload.shared_digest(counting_sha);
+    if (msg.to == 0) {
+      std::memcpy(reference.data(), d.data(), d.size());
+    } else {
+      EXPECT_TRUE(std::memcmp(reference.data(), d.data(), d.size()) == 0);
+    }
+  }
+  EXPECT_EQ(hash_calls.load(), 1) << "each recipient re-hashed the payload";
+}
+
+TEST(Fanout, SimSchedulerDeliversAliasesOfOneBroadcast) {
+  const std::size_t m = 6;
+  testutil::LocalNet net(m);
+  std::vector<net::Message> delivered;
+  for (NodeId j = 0; j < m; ++j) {
+    net.set_handler(j, [&](const net::Message& msg) { delivered.push_back(msg); });
+  }
+  net.endpoint(1).broadcast("coin/commit", SharedBytes(Bytes(256, 0xab)));
+  net.run();
+
+  ASSERT_EQ(delivered.size(), m);
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    EXPECT_TRUE(delivered[i].payload.same_buffer(delivered[0].payload));
+    EXPECT_EQ(delivered[i].topic, delivered[0].topic);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topic interning
+// ---------------------------------------------------------------------------
+
+TEST(Topic, InternedEqualityAndStrings) {
+  const net::Topic a("ba/vb/v");
+  const net::Topic b(std::string("ba/vb/v"));
+  const net::Topic c("ba/vb/e");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "ba/vb/v");
+  EXPECT_EQ(a.size(), 7u);
+  // Comparing against a literal interns and compares ids.
+  EXPECT_EQ(a, "ba/vb/v");
+  EXPECT_NE(a, "ba/vb/x");
+  // The default topic is the interned empty string.
+  EXPECT_EQ(net::Topic{}, net::Topic(""));
+  EXPECT_TRUE(net::Topic{}.empty());
+}
+
+// ---------------------------------------------------------------------------
+// TCP framing over shared payloads
+// ---------------------------------------------------------------------------
+
+TEST(Fanout, TcpFrameRoundTripOverSharedPayload) {
+  const SharedBytes payload(Bytes{9, 8, 7, 6, 5});
+  net::Message a{1, 2, "alloc/dt/4/val", payload};
+  net::Message b{1, 3, "alloc/dt/4/val", payload};  // second alias, other peer
+  ASSERT_TRUE(a.payload.same_buffer(b.payload));
+
+  const Bytes frame_a = net::encode_frame(a);
+  const Bytes frame_b = net::encode_frame(b);
+  EXPECT_NE(frame_a, frame_b);  // differ in `to` only
+
+  const auto decoded = net::decode_frame(BytesView(frame_a));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->consumed, frame_a.size());
+  EXPECT_EQ(decoded->message.from, 1u);
+  EXPECT_EQ(decoded->message.to, 2u);
+  EXPECT_EQ(decoded->message.topic, a.topic);
+  EXPECT_EQ(decoded->message.payload, payload);
+  // The decoded payload owns its bytes (fresh buffer, not a view into the
+  // frame) and its digest agrees with the sender's shared slot.
+  EXPECT_FALSE(decoded->message.payload.same_buffer(payload));
+  EXPECT_EQ(decoded->message.payload_digest(), a.payload_digest());
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor equivalence pins
+// ---------------------------------------------------------------------------
+
+struct GoldenRun {
+  std::size_t n, m, k;
+  std::uint64_t seed;
+  bool standard;
+  const char* result_sha256;     ///< sha256(encode_result(outcome))
+  std::uint64_t makespan;        ///< virtual ns
+  std::uint64_t messages;        ///< traffic counter
+  std::uint64_t bytes;           ///< traffic counter
+};
+
+// Fingerprints recorded from the pre-zero-copy implementation (deep-copied
+// topic + payload per recipient, per-recipient digest cache, std::function
+// message events) at fixed seeds. The zero-copy spine must reproduce every
+// run byte-for-byte: same outcome bytes, same virtual makespan, same traffic.
+const GoldenRun kGoldenRuns[] = {
+    {12, 3, 1, 99, true,
+     "c63eaeb3c70dd96aac6ac3f9b808bcb870435de1fd74bc236cb5bd69877e2dc2",
+     23823171, 69, 7716},
+    {12, 5, 2, 7, false,
+     "4533406cdccb450819482cdbdedaaf6b9634158650e8f6fcd5aa18d146fb5e5d",
+     25214028, 185, 22520},
+    {24, 4, 1, 11, false,
+     "9657860815b5dab899fc31b8173b100706284ac018d0e92927d3dc4ba55c2ca5",
+     25894473, 120, 20348},
+    {48, 7, 3, 5, true,
+     "fd60e91fbad69e57c8b0bae2f164d57b4a7fbfc9fce1902ae7be9a7182b60798",
+     30011108, 357, 89726},
+    {16, 3, 1, 123, false,
+     "02a7a7c57c0a090f897ec945a86a6db95ddf4b4019cbc5018f4257bf2eeb524a",
+     24210375, 69, 9402},
+};
+
+TEST(FanoutEquivalence, FixedSeedRunsMatchPreRefactorFingerprints) {
+  for (const GoldenRun& g : kGoldenRuns) {
+    core::AuctioneerSpec spec;
+    spec.m = g.m;
+    spec.k = g.k;
+    spec.num_bidders = g.n;
+    std::shared_ptr<core::AuctionAdapter> adapter;
+    if (g.standard) {
+      auction::StandardAuctionParams p;
+      p.epsilon = 0.25;
+      adapter = std::make_shared<core::StandardAuctionAdapter>(p);
+    } else {
+      adapter = std::make_shared<core::DoubleAuctionAdapter>();
+    }
+    const core::DistributedAuctioneer auctioneer(spec, adapter);
+    const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+
+    runtime::SimRunConfig cfg;
+    cfg.seed = g.seed;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+
+    SCOPED_TRACE("n=" + std::to_string(g.n) + " m=" + std::to_string(g.m) +
+                 " k=" + std::to_string(g.k) + " seed=" + std::to_string(g.seed));
+    ASSERT_TRUE(run.global_outcome.ok());
+    const Bytes enc = serde::encode_result(run.global_outcome.value());
+    EXPECT_EQ(crypto::digest_hex(crypto::sha256(BytesView(enc))), g.result_sha256);
+    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
+    EXPECT_EQ(run.traffic.messages, g.messages);
+    EXPECT_EQ(run.traffic.bytes, g.bytes);
+  }
+}
+
+}  // namespace
+}  // namespace dauct

@@ -32,7 +32,7 @@ std::vector<Delivery> run_ring(std::size_t m, std::uint64_t seed) {
 
   for (NodeId j = 0; j < m; ++j) {
     net.set_handler(j, [&, j](const net::Message& msg) {
-      log.push_back(Delivery{j, msg.from, msg.topic, msg.payload});
+      log.push_back(Delivery{j, msg.from, msg.topic.str(), msg.payload.to_bytes()});
       const std::uint8_t hops = msg.payload.empty() ? 0 : msg.payload.front();
       if (hops == 0) return;
       net::Message next;

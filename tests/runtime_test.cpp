@@ -58,8 +58,8 @@ TEST(Frame, SingleBufferEncodeMatchesTwoWriterReference) {
     serde::Writer body;
     body.u32(msg.from);
     body.u32(msg.to);
-    body.str(msg.topic);
-    body.bytes(msg.payload);
+    body.str(msg.topic.str());
+    body.bytes(msg.payload.view());
     serde::Writer ref;
     ref.u32(static_cast<std::uint32_t>(body.buffer().size()));
     ref.raw(BytesView(body.buffer()));
@@ -69,7 +69,7 @@ TEST(Frame, SingleBufferEncodeMatchesTwoWriterReference) {
 
 TEST(Message, PayloadDigestMatchesOneShotHash) {
   net::Message msg{1, 2, "t", Bytes{5, 6, 7, 8}};
-  EXPECT_EQ(msg.payload_digest(), crypto::sha256(BytesView(msg.payload)));
+  EXPECT_EQ(msg.payload_digest(), crypto::sha256(msg.payload.view()));
   // Cached: repeated calls and copies return the same digest object value.
   const crypto::Digest first = msg.payload_digest();
   const net::Message copy = msg;
@@ -82,7 +82,7 @@ TEST(Message, SetPayloadInvalidatesDigestCache) {
   msg.set_payload(Bytes{2});
   const crypto::Digest d2 = msg.payload_digest();
   EXPECT_NE(d1, d2);
-  EXPECT_EQ(d2, crypto::sha256(BytesView(msg.payload)));
+  EXPECT_EQ(d2, crypto::sha256(msg.payload.view()));
 }
 
 TEST(Mailbox, PushPopClose) {

@@ -78,10 +78,10 @@ TEST(Scheduler, DeliversBetweenNodes) {
   Scheduler sched(2, LatencyModel::zero(), 1);
   std::vector<std::string> log;
   sched.set_deliver(0, [&](const net::Message& m) {
-    log.push_back("n0:" + m.topic);
+    log.push_back("n0:" + m.topic.str());
     sched.send(net::Message{0, 1, "pong", {}});
   });
-  sched.set_deliver(1, [&](const net::Message& m) { log.push_back("n1:" + m.topic); });
+  sched.set_deliver(1, [&](const net::Message& m) { log.push_back("n1:" + m.topic.str()); });
   sched.inject(0, net::Message{1, 0, "ping", {}});
   sched.run();
   EXPECT_EQ(log, (std::vector<std::string>{"n0:ping", "n1:pong"}));

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_dauct.json against the committed baseline.
+
+Per-op deltas for every benchmark present in both files, plus new/dropped
+entries — rendered as a GitHub-flavoured markdown table so CI can append it
+to the job summary. Warn-only by design: the shared CI vCPU is far too noisy
+for a hard gate (see ROADMAP "Perf baseline"); the table is for humans (and
+the committed baseline at the repo root is the durable record).
+
+Usage:
+  tools/bench_compare.py BASELINE.json FRESH.json [--threshold-pct 15]
+
+Exit code is always 0 unless a file is missing/unparseable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for rec in doc.get("benchmarks", []):
+        runs[rec["name"]] = rec
+    return runs, doc.get("speedups", {})
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} µs"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold-pct", type=float, default=15.0,
+                    help="flag |delta| above this (cosmetic only; never fails)")
+    args = ap.parse_args()
+
+    try:
+        base, base_speedups = load(args.baseline)
+        fresh, fresh_speedups = load(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot load inputs: {e}", file=sys.stderr)
+        return 1
+
+    common = [n for n in base if n in fresh]
+    added = [n for n in fresh if n not in base]
+    dropped = [n for n in base if n not in fresh]
+
+    print("### Perf trajectory vs committed baseline")
+    print()
+    print(f"{len(common)} benchmarks compared "
+          f"({len(added)} new, {len(dropped)} dropped). "
+          f"Deltas beyond ±{args.threshold_pct:.0f}% are flagged; "
+          "this job is warn-only (noisy shared vCPU — trust ratios, "
+          "re-measure locally before acting).")
+    print()
+    print("| benchmark | baseline | fresh | delta |")
+    print("|---|---:|---:|---:|")
+    flagged = 0
+    for name in common:
+        b, f = base[name]["ns_per_op"], fresh[name]["ns_per_op"]
+        if b <= 0:
+            continue
+        pct = (f - b) / b * 100.0
+        mark = ""
+        if abs(pct) > args.threshold_pct:
+            flagged += 1
+            mark = " ⚠️" if pct > 0 else " 🚀"
+        print(f"| `{name}` | {fmt_ns(b)} | {fmt_ns(f)} | {pct:+.1f}%{mark} |")
+    for name in added:
+        print(f"| `{name}` | — | {fmt_ns(fresh[name]['ns_per_op'])} | new |")
+    for name in dropped:
+        print(f"| `{name}` | {fmt_ns(base[name]['ns_per_op'])} | — | dropped |")
+
+    if base_speedups or fresh_speedups:
+        print()
+        print("| ref→opt speedup | baseline | fresh |")
+        print("|---|---:|---:|")
+        for key in sorted(set(base_speedups) | set(fresh_speedups)):
+            b = base_speedups.get(key)
+            f = fresh_speedups.get(key)
+            print(f"| `{key}` | {f'{b:.2f}×' if b else '—'} "
+                  f"| {f'{f:.2f}×' if f else '—'} |")
+
+    print()
+    if flagged:
+        print(f"_{flagged} benchmark(s) beyond the ±{args.threshold_pct:.0f}% "
+              "noise band._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
