@@ -343,6 +343,68 @@ TINYBENCH(BM_e2e_sim_centralized)
     ->Args({256, 12})
     ->Args({512, 16});
 
+// Faulty end-to-end sweeps: the same double-auction runs with a fault plan
+// installed, tracking what the fault-injection subsystem costs when it is
+// actually working. (Its cost when *idle* is pinned by BM_e2e_sim_distributed
+// staying flat vs the committed baseline: no plan = one null test per
+// message.) Two regimes:
+//  * _delay — every message matched, delayed, and jittered; the protocol
+//    still completes, so this is the per-message fault-path overhead plus
+//    the longer virtual timeline at full traffic volume;
+//  * _lossy — 2% stochastic loss; rounds starve and the run stalls to ⊥,
+//    measuring the drop path and the truncated-run drain.
+void BM_e2e_faulty_delay(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  sim::LinkFault rule;
+  rule.extra_delay = sim::from_millis(2);
+  rule.jitter = sim::from_millis(1);
+  plan.links.push_back(rule);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.faults = plan;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_faulty_delay)->Args({48, 4})->Args({128, 8});
+
+void BM_e2e_faulty_lossy(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  sim::LinkFault rule;
+  rule.drop = 0.02;
+  rule.active_from = sim::from_millis(4);  // let the client batches land
+  plan.links.push_back(rule);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.faults = plan;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.stalled);
+  }
+}
+TINYBENCH(BM_e2e_faulty_lossy)->Args({48, 4})->Args({128, 8});
+
 // Solver-inclusive end-to-end point (the PR 2 trajectory number): the
 // ε-approximate standard auction through the full distributed protocol.
 void BM_e2e_sim_standard(State& state) {

@@ -191,7 +191,10 @@ inline Result run_one(const Benchmark& b, const std::vector<std::int64_t>& args,
     if (ns >= target_ns || iters >= (std::uint64_t{1} << 40)) {
       Result r;
       r.name = b.name();
-      for (std::int64_t a : args) r.name += "/" + std::to_string(a);
+      for (std::int64_t a : args) {
+        r.name += '/';
+        r.name += std::to_string(a);
+      }
       r.op = b.name();
       r.n = args.empty() ? 0 : args[0];
       r.iterations = st.iterations();
@@ -217,7 +220,10 @@ inline std::vector<Result> run_all(const Options& opt) {
   for (const auto& b : registry()) {
     for (const auto& args : b->runs()) {
       std::string name = b->name();
-      for (std::int64_t a : args) name += "/" + std::to_string(a);
+      for (std::int64_t a : args) {
+        name += '/';
+        name += std::to_string(a);
+      }
       if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) continue;
       results.push_back(run_one(*b, args, opt.min_time_ms));
     }

@@ -1,0 +1,538 @@
+#include "runtime/scenario.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "auction/workload.hpp"
+#include "core/adapters.hpp"
+#include "crypto/sha256.hpp"
+#include "serde/auction_codec.hpp"
+#include "serde/csv.hpp"
+#include "serde/ini.hpp"
+
+namespace dauct::runtime {
+
+namespace {
+
+// --- Typed value parsing ---------------------------------------------------
+
+std::optional<std::uint64_t> to_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> to_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> to_bool(const std::string& s) {
+  if (s == "true" || s == "yes" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "0") return false;
+  return std::nullopt;
+}
+
+/// Node field: a provider index, "client" (= providers, the client node of
+/// the sim deployment), or "any" (wildcard, link rules only).
+std::optional<NodeId> to_node(const std::string& s, std::size_t providers) {
+  if (s == "any" || s == "*") return kNoNode;
+  if (s == "client") return static_cast<NodeId>(providers);
+  const auto v = to_u64(s);
+  if (!v || *v >= kNoNode) return std::nullopt;
+  return static_cast<NodeId>(*v);
+}
+
+/// Milliseconds (decimal) → virtual nanoseconds. Values beyond the SimTime
+/// range clamp to kSimForever ("held for the whole run") instead of hitting
+/// llround's out-of-range UB.
+std::optional<sim::SimTime> to_time_ms(const std::string& s) {
+  const auto v = to_double(s);
+  if (!v || *v < 0) return std::nullopt;
+  if (*v >= static_cast<double>(sim::kSimForever) / 1e6) return sim::kSimForever;
+  return static_cast<sim::SimTime>(std::llround(*v * 1e6));
+}
+
+std::optional<double> to_probability(const std::string& s) {
+  const auto v = to_double(s);
+  if (!v || *v < 0.0 || *v > 1.0) return std::nullopt;
+  return v;
+}
+
+// --- Section schemas -------------------------------------------------------
+
+struct ParseCtx {
+  Scenario sc;
+  std::string error;  ///< first error; parsing stops
+
+  bool fail(std::size_t line, const std::string& what) {
+    if (error.empty()) error = "line " + std::to_string(line) + ": " + what;
+    return false;
+  }
+  bool bad_value(const serde::IniKeyValue& kv) {
+    return fail(kv.line, "bad value for '" + kv.key + "': '" + kv.value + "'");
+  }
+  bool unknown_key(const std::string& section, const serde::IniKeyValue& kv) {
+    return fail(kv.line, "unknown key '" + kv.key + "' in [" + section + "]");
+  }
+};
+
+bool parse_scenario_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "name") ctx.sc.name = kv.value;
+    else if (kv.key == "description") ctx.sc.description = kv.value;
+    else return ctx.unknown_key("scenario", kv);
+  }
+  return true;
+}
+
+bool parse_run_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "auction") {
+      if (kv.value != "double" && kv.value != "standard") return ctx.bad_value(kv);
+      ctx.sc.auction = kv.value;
+    } else if (kv.key == "users") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);
+      ctx.sc.users = static_cast<std::size_t>(*v);
+    } else if (kv.key == "providers") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);
+      ctx.sc.providers = static_cast<std::size_t>(*v);
+    } else if (kv.key == "k") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.k = static_cast<std::size_t>(*v);
+    } else if (kv.key == "epsilon") {
+      const auto v = to_double(kv.value);
+      if (!v || *v <= 0 || *v >= 1) return ctx.bad_value(kv);
+      ctx.sc.epsilon = *v;
+    } else if (kv.key == "seed") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.seed = *v;
+    } else if (kv.key == "latency") {
+      if (kv.value != "zero" && kv.value != "lan" && kv.value != "community") {
+        return ctx.bad_value(kv);
+      }
+      ctx.sc.latency = kv.value;
+    } else {
+      return ctx.unknown_key("run", kv);
+    }
+  }
+  return true;
+}
+
+bool parse_fault_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "seed") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.faults.seed = *v;
+    } else {
+      return ctx.unknown_key("fault", kv);
+    }
+  }
+  return true;
+}
+
+bool parse_link_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  sim::LinkFault rule;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "from" || kv.key == "to") {
+      const auto v = to_node(kv.value, ctx.sc.providers);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "from" ? rule.from : rule.to) = *v;
+    } else if (kv.key == "symmetric") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      rule.symmetric = *v;
+    } else if (kv.key == "drop" || kv.key == "duplicate") {
+      const auto v = to_probability(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "drop" ? rule.drop : rule.duplicate) = *v;
+    } else if (kv.key == "delay_ms" || kv.key == "jitter_ms" ||
+               kv.key == "from_ms" || kv.key == "until_ms") {
+      const auto v = to_time_ms(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      if (kv.key == "delay_ms") rule.extra_delay = *v;
+      else if (kv.key == "jitter_ms") rule.jitter = *v;
+      else if (kv.key == "from_ms") rule.active_from = *v;
+      else rule.active_until = *v;
+    } else {
+      return ctx.unknown_key("link", kv);
+    }
+  }
+  ctx.sc.faults.links.push_back(rule);
+  return true;
+}
+
+bool parse_cut_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  sim::LinkCut cut;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "a" || kv.key == "b") {
+      const auto v = to_node(kv.value, ctx.sc.providers);
+      if (!v || *v == kNoNode) return ctx.bad_value(kv);
+      (kv.key == "a" ? cut.a : cut.b) = *v;
+    } else if (kv.key == "from_ms" || kv.key == "until_ms") {
+      const auto v = to_time_ms(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "from_ms" ? cut.from : cut.until) = *v;
+    } else {
+      return ctx.unknown_key("cut", kv);
+    }
+  }
+  if (cut.a == kNoNode || cut.b == kNoNode) {
+    return ctx.fail(sec.line, "[cut] needs both endpoints 'a' and 'b'");
+  }
+  ctx.sc.faults.cuts.push_back(cut);
+  return true;
+}
+
+bool parse_partition_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  sim::Partition part;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "group") {
+      std::string_view rest = kv.value;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string item(rest.substr(0, comma));
+        rest.remove_prefix(comma == std::string_view::npos ? rest.size() : comma + 1);
+        while (!item.empty() && item.front() == ' ') item.erase(item.begin());
+        while (!item.empty() && item.back() == ' ') item.pop_back();
+        const auto v = to_node(item, ctx.sc.providers);
+        if (!v || *v == kNoNode) return ctx.bad_value(kv);
+        part.group.push_back(*v);
+      }
+      if (part.group.empty()) return ctx.bad_value(kv);
+    } else if (kv.key == "from_ms" || kv.key == "until_ms") {
+      const auto v = to_time_ms(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "from_ms" ? part.from : part.until) = *v;
+    } else {
+      return ctx.unknown_key("partition", kv);
+    }
+  }
+  if (part.group.empty()) {
+    return ctx.fail(sec.line, "[partition] needs a 'group'");
+  }
+  ctx.sc.faults.partitions.push_back(std::move(part));
+  return true;
+}
+
+bool parse_crash_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  sim::CrashEvent crash;
+  bool have_node = false;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "node") {
+      const auto v = to_node(kv.value, ctx.sc.providers);
+      if (!v || *v == kNoNode) return ctx.bad_value(kv);
+      crash.node = *v;
+      have_node = true;
+    } else if (kv.key == "at_ms" || kv.key == "recover_ms") {
+      const auto v = to_time_ms(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "at_ms" ? crash.at : crash.recover_at) = *v;
+    } else {
+      return ctx.unknown_key("crash", kv);
+    }
+  }
+  if (!have_node) return ctx.fail(sec.line, "[crash] needs a 'node'");
+  ctx.sc.faults.crashes.push_back(crash);
+  return true;
+}
+
+bool parse_deviation_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  DeviationSpec dev;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "node") {
+      const auto v = to_node(kv.value, ctx.sc.providers);
+      if (!v || *v == kNoNode) return ctx.bad_value(kv);
+      dev.node = *v;
+    } else if (kv.key == "strategy") {
+      const auto& names = deviation_strategy_names();
+      if (std::find(names.begin(), names.end(), kv.value) == names.end()) {
+        return ctx.fail(kv.line, "unknown strategy '" + kv.value + "'");
+      }
+      dev.strategy = kv.value;
+    } else if (kv.key == "fake_cost") {
+      const auto v = serde::parse_money(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      dev.fake_cost = *v;
+    } else {
+      return ctx.unknown_key("deviation", kv);
+    }
+  }
+  if (dev.node == kNoNode || dev.strategy.empty()) {
+    return ctx.fail(sec.line, "[deviation] needs 'node' and 'strategy'");
+  }
+  ctx.sc.deviations.push_back(std::move(dev));
+  return true;
+}
+
+bool parse_expect_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "outcome") {
+      if (kv.value == "ok") ctx.sc.expect.outcome = ScenarioExpect::Outcome::kOk;
+      else if (kv.value == "bottom") ctx.sc.expect.outcome = ScenarioExpect::Outcome::kBottom;
+      else return ctx.bad_value(kv);
+    } else if (kv.key == "stalled" || kv.key == "matches_clean") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "stalled" ? ctx.sc.expect.stalled : ctx.sc.expect.matches_clean) = *v;
+    } else if (kv.key == "abort_reason") {
+      ctx.sc.expect.abort_reason = kv.value;
+    } else if (kv.key == "min_faults") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.expect.min_faults = *v;
+    } else {
+      return ctx.unknown_key("expect", kv);
+    }
+  }
+  return true;
+}
+
+// --- Run helpers -----------------------------------------------------------
+
+sim::LatencyModel latency_by_name(const std::string& name) {
+  if (name == "zero") return sim::LatencyModel::zero();
+  if (name == "lan") return sim::LatencyModel::lan();
+  return sim::LatencyModel::community();
+}
+
+std::shared_ptr<adversary::DeviationStrategy> make_strategy(
+    const DeviationSpec& dev, std::vector<NodeId> coalition) {
+  if (dev.strategy == "honest") return adversary::honest_provider();
+  if (dev.strategy == "corrupt-coin-reveal") return adversary::corrupt_coin_reveal();
+  if (dev.strategy == "equivocate-votes") return adversary::equivocate_votes();
+  if (dev.strategy == "forge-task-results") {
+    return adversary::forge_task_results(std::move(coalition));
+  }
+  if (dev.strategy == "forge-output-digest") {
+    return adversary::forge_output_digest(std::move(coalition));
+  }
+  if (dev.strategy == "selective-silence") {
+    return adversary::selective_silence(std::move(coalition));
+  }
+  if (dev.strategy == "misreport-ask") return adversary::misreport_ask(dev.fake_cost);
+  return nullptr;  // unreachable: names validated at parse time
+}
+
+std::string digest_of(const SimRunResult& run) {
+  if (!run.global_outcome.ok()) return std::string();
+  const Bytes enc = serde::encode_result(run.global_outcome.value());
+  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+}  // namespace
+
+const std::vector<std::string>& deviation_strategy_names() {
+  static const std::vector<std::string> names = {
+      "honest",           "corrupt-coin-reveal", "equivocate-votes",
+      "forge-task-results", "forge-output-digest", "selective-silence",
+      "misreport-ask",
+  };
+  return names;
+}
+
+ScenarioParse parse_scenario(std::string_view text) {
+  const serde::IniResult ini = serde::parse_ini(text);
+  if (!ini.ok()) return {std::nullopt, ini.error};
+
+  // Two passes: [run] first (node fields like "client" and validation need
+  // the provider count), then everything else in file order.
+  ParseCtx ctx;
+  for (const auto& sec : ini.doc->sections) {
+    if (sec.name == "run" && !parse_run_section(ctx, sec)) {
+      return {std::nullopt, ctx.error};
+    }
+  }
+  for (const auto& sec : ini.doc->sections) {
+    bool ok = true;
+    if (sec.name == "run") continue;
+    else if (sec.name == "scenario") ok = parse_scenario_section(ctx, sec);
+    else if (sec.name == "fault") ok = parse_fault_section(ctx, sec);
+    else if (sec.name == "link") ok = parse_link_section(ctx, sec);
+    else if (sec.name == "cut") ok = parse_cut_section(ctx, sec);
+    else if (sec.name == "partition") ok = parse_partition_section(ctx, sec);
+    else if (sec.name == "crash") ok = parse_crash_section(ctx, sec);
+    else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
+    else if (sec.name == "expect") ok = parse_expect_section(ctx, sec);
+    else {
+      ctx.fail(sec.line, sec.name.empty()
+                             ? "keys before any [section] header"
+                             : "unknown section [" + sec.name + "]");
+      ok = false;
+    }
+    if (!ok) return {std::nullopt, ctx.error};
+  }
+
+  if (ctx.sc.providers <= 2 * ctx.sc.k) {
+    return {std::nullopt, "[run] requires providers > 2k (m=" +
+                              std::to_string(ctx.sc.providers) +
+                              ", k=" + std::to_string(ctx.sc.k) + ")"};
+  }
+  for (const auto& dev : ctx.sc.deviations) {
+    if (dev.node >= ctx.sc.providers) {
+      return {std::nullopt, "[deviation] node " + std::to_string(dev.node) +
+                                " is not a provider (m=" +
+                                std::to_string(ctx.sc.providers) + ")"};
+    }
+  }
+  // Every concrete node a fault section names must exist in the deployment
+  // (providers 0..m-1 plus the client node m) — a typo'd id would otherwise
+  // parse fine and silently never fire, turning the scenario into a no-op.
+  // (Appends, not one operator+ chain: GCC 12's -Wrestrict misfires on the
+  // chained form under -O2.)
+  const auto check_node = [&](NodeId n, const char* section)
+      -> std::optional<std::string> {
+    if (n == kNoNode || n <= ctx.sc.providers) return std::nullopt;
+    std::string err = "[";
+    err += section;
+    err += "] node ";
+    err += std::to_string(n);
+    err += " does not exist (providers 0..";
+    err += std::to_string(ctx.sc.providers - 1);
+    err += ", client = ";
+    err += std::to_string(ctx.sc.providers);
+    err += ")";
+    return err;
+  };
+  for (const auto& r : ctx.sc.faults.links) {
+    for (NodeId n : {r.from, r.to}) {
+      if (auto err = check_node(n, "link")) return {std::nullopt, *err};
+    }
+  }
+  for (const auto& c : ctx.sc.faults.cuts) {
+    for (NodeId n : {c.a, c.b}) {
+      if (auto err = check_node(n, "cut")) return {std::nullopt, *err};
+    }
+  }
+  for (const auto& p : ctx.sc.faults.partitions) {
+    for (NodeId n : p.group) {
+      if (auto err = check_node(n, "partition")) return {std::nullopt, *err};
+    }
+  }
+  for (const auto& c : ctx.sc.faults.crashes) {
+    if (auto err = check_node(c.node, "crash")) return {std::nullopt, *err};
+  }
+  return {std::move(ctx.sc), std::string()};
+}
+
+ScenarioRun run_scenario(const Scenario& scenario) {
+  ScenarioRun out;
+
+  crypto::Rng rng(scenario.seed);
+  auction::AuctionInstance instance;
+  std::shared_ptr<core::AuctionAdapter> adapter;
+  if (scenario.auction == "standard") {
+    instance = auction::generate(
+        auction::standard_auction_workload(scenario.users, scenario.providers), rng);
+    auction::StandardAuctionParams params;
+    params.epsilon = scenario.epsilon;
+    adapter = std::make_shared<core::StandardAuctionAdapter>(params);
+  } else {
+    instance = auction::generate(
+        auction::double_auction_workload(scenario.users, scenario.providers), rng);
+    adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  }
+
+  core::AuctioneerSpec spec;
+  spec.m = scenario.providers;
+  spec.k = scenario.k;
+  spec.num_bidders = instance.bids.size();
+  std::unique_ptr<core::DistributedAuctioneer> auctioneer;
+  try {
+    auctioneer = std::make_unique<core::DistributedAuctioneer>(spec, adapter);
+  } catch (const std::invalid_argument& e) {
+    out.failures.push_back(std::string("invalid auctioneer spec: ") + e.what());
+    return out;
+  }
+
+  runtime::SimRunConfig cfg;
+  cfg.seed = scenario.seed;
+  cfg.latency = latency_by_name(scenario.latency);
+  cfg.cost_mode = sim::CostMode::kZero;  // the run is a pure function of the file
+  cfg.faults = scenario.faults;
+  std::vector<NodeId> coalition;
+  for (const auto& dev : scenario.deviations) coalition.push_back(dev.node);
+  for (const auto& dev : scenario.deviations) {
+    cfg.deviations[dev.node] = make_strategy(dev, coalition);
+  }
+
+  SimRuntime rt(cfg);
+  out.run = rt.run_distributed(*auctioneer, instance);
+  out.result_digest = digest_of(out.run);
+
+  const ScenarioExpect& exp = scenario.expect;
+  if (exp.matches_clean.has_value()) {
+    SimRunConfig clean_cfg = cfg;
+    clean_cfg.faults.reset();
+    clean_cfg.deviations.clear();
+    out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
+    out.clean_digest = digest_of(*out.clean);
+  }
+
+  // --- Expectation verdicts ---
+  const auto& run = out.run;
+  if (exp.outcome == ScenarioExpect::Outcome::kOk && !run.global_outcome.ok()) {
+    out.failures.push_back(
+        "expected outcome=ok, got ⊥ (" +
+        std::string(abort_reason_name(run.global_outcome.bottom().reason)) + ")");
+  }
+  if (exp.outcome == ScenarioExpect::Outcome::kBottom && run.global_outcome.ok()) {
+    out.failures.push_back("expected outcome=bottom, run reached (x, p⃗)");
+  }
+  if (exp.stalled && *exp.stalled != run.stalled) {
+    out.failures.push_back(std::string("expected stalled=") +
+                           (*exp.stalled ? "true" : "false") + ", run " +
+                           (run.stalled ? "stalled" : "completed"));
+  }
+  if (exp.matches_clean) {
+    const bool both_ok = run.global_outcome.ok() && out.clean->global_outcome.ok();
+    const bool match = both_ok && out.result_digest == out.clean_digest;
+    if (*exp.matches_clean && !match) {
+      out.failures.push_back(
+          "expected the fault-free result, got " +
+          (run.global_outcome.ok() ? "digest " + out.result_digest
+                                   : std::string("⊥")) +
+          " vs clean " + (out.clean->global_outcome.ok() ? out.clean_digest
+                                                         : std::string("⊥")));
+    }
+    if (!*exp.matches_clean && match) {
+      out.failures.push_back("expected a diverging result, got the clean one");
+    }
+  }
+  if (exp.abort_reason) {
+    if (run.global_outcome.ok()) {
+      out.failures.push_back("expected abort_reason=" + *exp.abort_reason +
+                             ", run reached (x, p⃗)");
+    } else if (abort_reason_name(run.global_outcome.bottom().reason) !=
+               *exp.abort_reason) {
+      out.failures.push_back(
+          "expected abort_reason=" + *exp.abort_reason + ", got " +
+          abort_reason_name(run.global_outcome.bottom().reason));
+    }
+  }
+  if (exp.min_faults) {
+    const std::uint64_t injected =
+        run.fault_stats.total_dropped() + run.fault_stats.duplicated +
+        run.fault_stats.delayed;
+    if (injected < *exp.min_faults) {
+      out.failures.push_back("expected min_faults=" +
+                             std::to_string(*exp.min_faults) + ", injector saw " +
+                             std::to_string(injected));
+    }
+  }
+  return out;
+}
+
+}  // namespace dauct::runtime

@@ -1,0 +1,93 @@
+// Declarative fault-injection scenarios: data, not code.
+//
+// A scenario file (.scn, INI-style — serde/ini.hpp) bundles everything needed
+// to replay one auction run under faults, bit-reproducibly:
+//
+//   [scenario] name/description   [run] auction/users/providers/k/seed/...
+//   [fault]    fault RNG seed     [link] [cut] [partition] [crash]  (repeat)
+//   [deviation] byzantine provider strategies (adversary/provider_deviation)
+//   [expect]   self-checking assertions (outcome, stall, matches_clean, ...)
+//
+// run_scenario() executes the scenario on the deterministic virtual-time
+// runtime (CostMode::kZero: the run is a pure function of the file), runs the
+// fault-free twin when an expectation compares against it, and evaluates the
+// [expect] section — which is what makes checked-in scenarios CI-enforceable
+// (`dauct_cli --scenario FILE` exits non-zero on a violated expectation).
+//
+// Full key reference and a cookbook for every shipped scenarios/*.scn:
+// docs/SCENARIOS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/sim_runtime.hpp"
+
+namespace dauct::runtime {
+
+/// One coalition member and the deviation strategy it follows. The coalition
+/// passed to coalition-aware strategies is the set of all deviant nodes in
+/// the scenario.
+struct DeviationSpec {
+  NodeId node = kNoNode;
+  std::string strategy;            ///< registry name (deviation_strategy_names())
+  Money fake_cost = kZeroMoney;    ///< misreport-ask only
+};
+
+/// Assertions evaluated after the run; unset fields are not checked.
+struct ScenarioExpect {
+  enum class Outcome { kUnspecified, kOk, kBottom };
+  Outcome outcome = Outcome::kUnspecified;    ///< (x, p⃗) reached vs ⊥
+  std::optional<bool> stalled;                ///< some provider never finished
+  std::optional<bool> matches_clean;          ///< result ≡ the fault-free twin
+  std::optional<std::string> abort_reason;    ///< abort_reason_name() of the ⊥
+  std::optional<std::uint64_t> min_faults;    ///< injected-event lower bound
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // [run]
+  std::string auction = "double";    ///< double | standard
+  std::size_t users = 16;
+  std::size_t providers = 5;
+  std::size_t k = 1;
+  double epsilon = 0.1;              ///< standard auction approximation
+  std::uint64_t seed = 1;            ///< workload + protocol seed
+  std::string latency = "community"; ///< zero | lan | community
+
+  sim::FaultPlan faults;
+  std::vector<DeviationSpec> deviations;
+  ScenarioExpect expect;
+};
+
+struct ScenarioParse {
+  std::optional<Scenario> scenario;
+  std::string error;
+  bool ok() const { return scenario.has_value(); }
+};
+
+/// Strict parse: unknown sections/keys, malformed numbers, inconsistent run
+/// parameters (m ≤ 2k, no users) and unknown strategy names are errors.
+ScenarioParse parse_scenario(std::string_view text);
+
+/// Outcome of executing a scenario, plus the expectation verdicts.
+struct ScenarioRun {
+  SimRunResult run;                     ///< the faulty/deviant run
+  std::optional<SimRunResult> clean;    ///< fault-free twin, when compared
+  std::string result_digest;            ///< sha256 hex of the result; "" if ⊥
+  std::string clean_digest;             ///< same, for the twin
+  std::vector<std::string> failures;    ///< violated expectations
+
+  bool ok() const { return failures.empty(); }
+};
+
+ScenarioRun run_scenario(const Scenario& scenario);
+
+/// Names accepted by [deviation] strategy= (for --help and error messages).
+const std::vector<std::string>& deviation_strategy_names();
+
+}  // namespace dauct::runtime

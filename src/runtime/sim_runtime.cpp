@@ -82,6 +82,7 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
 
   sim::Scheduler scheduler(m + 1, config_.latency, config_.seed, config_.cost_mode);
   scheduler.set_cpu_scale(config_.cpu_scale);
+  if (config_.faults) scheduler.install_fault_plan(*config_.faults);
 
   // Endpoints (with deviation wrappers for coalition members) and engines.
   crypto::Rng seeder(config_.seed ^ 0xd15742u);
@@ -109,8 +110,10 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   // dispatch below is integer compares.
   const net::Topic bids_topic(kBidsTopic);
   const net::Topic result_topic(kResultTopic);
+  std::vector<bool> started(m, false);
   std::vector<bool> reported(m, false);
   std::vector<sim::SimTime> ba_done(m, 0), eng_done(m, 0);
+  std::vector<bool> result_seen(m, false);
   std::size_t results_at_client = 0;
   sim::SimTime client_done_at = 0;
 
@@ -118,8 +121,11 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
     scheduler.set_deliver(j, [&, j](const net::Message& msg) {
       core::ProviderEngine& engine = *engines[j];
       if (msg.topic == bids_topic) {
+        // Idempotent against a (faulty) network duplicating the client batch:
+        // the engine starts exactly once.
         auto subs = decode_submissions(BytesView(msg.payload));
-        if (subs) {
+        if (subs && !started[j]) {
+          started[j] = true;
           engine.start(sanitize_submissions(*subs, auctioneer.spec().limits));
         }
       } else {
@@ -147,7 +153,9 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   }
 
   scheduler.set_deliver(client, [&](const net::Message& msg) {
-    if (msg.topic == result_topic) {
+    // One result per provider (duplicate-safe, same reason as above).
+    if (msg.topic == result_topic && msg.from < m && !result_seen[msg.from]) {
+      result_seen[msg.from] = true;
       ++results_at_client;
       if (results_at_client == m) client_done_at = scheduler.now();
     }
@@ -192,6 +200,7 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
       core::combine_outcomes(std::span(result.provider_outcomes));
   result.makespan = results_at_client == m ? client_done_at : scheduler.now();
   result.traffic = scheduler.traffic();
+  if (const auto* fs = scheduler.fault_stats()) result.fault_stats = *fs;
   result.bid_agreement_done_at = std::move(ba_done);
   result.provider_done_at = std::move(eng_done);
   return result;
@@ -205,6 +214,7 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
   const net::Topic result_topic(kResultTopic);
   sim::Scheduler scheduler(2, config_.latency, config_.seed, config_.cost_mode);
   scheduler.set_cpu_scale(config_.cpu_scale);
+  if (config_.faults) scheduler.install_fault_plan(*config_.faults);
 
   crypto::Rng seed_rng(config_.seed ^ 0xc3a1u);
   const std::uint64_t coin = seed_rng.next_u64();
@@ -253,6 +263,7 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
   result.global_outcome =
       core::combine_outcomes(std::span(result.provider_outcomes));
   result.traffic = scheduler.traffic();
+  if (const auto* fs = scheduler.fault_stats()) result.fault_stats = *fs;
   result.shared_seed = coin;
   return result;
 }

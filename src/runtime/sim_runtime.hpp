@@ -19,11 +19,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "adversary/bidder_behaviour.hpp"
 #include "adversary/provider_deviation.hpp"
 #include "core/centralized_auctioneer.hpp"
 #include "core/distributed_auctioneer.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dauct::runtime {
@@ -39,6 +41,11 @@ struct SimRunConfig {
   /// Coalition members and their deviation strategies.
   std::map<NodeId, std::shared_ptr<adversary::DeviationStrategy>> deviations;
 
+  /// Deterministic fault plan installed into the scheduler (sim/fault.hpp).
+  /// Unset = fault-free; an installed plan with all-zero rates is
+  /// bit-identical to unset.
+  std::optional<sim::FaultPlan> faults;
+
   /// Safety valve against runaway simulations.
   std::uint64_t max_events = 50'000'000;
 };
@@ -48,6 +55,7 @@ struct SimRunResult {
   auction::AuctionOutcome global_outcome{Bottom{}};
   sim::SimTime makespan = 0;       ///< client-observed end-to-end time
   sim::TrafficStats traffic;
+  sim::FaultStats fault_stats;     ///< zeros unless a fault plan was installed
   bool stalled = false;  ///< some provider never finished (counts as ⊥)
   std::uint64_t shared_seed = 0;   ///< common-coin value (distributed runs)
 

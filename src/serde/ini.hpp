@@ -1,0 +1,51 @@
+// Minimal INI-style reader for declarative config text (scenario .scn files).
+//
+// Grammar (strict; anything else is an error with a line number):
+//   [section]          — starts a new section entry; repeated names allowed
+//                        and kept in file order ([crash] twice = two crashes)
+//   key = value        — belongs to the current section; keys may repeat
+//   # comment / ; comment — full-line comments; blank lines ignored
+//
+// Values are returned verbatim (trimmed); typed access and key validation
+// belong to the consumer (runtime/scenario.cpp), which knows the schema.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dauct::serde {
+
+struct IniKeyValue {
+  std::string key;
+  std::string value;
+  std::size_t line = 0;  ///< 1-based source line, for error messages
+};
+
+struct IniSection {
+  std::string name;
+  std::size_t line = 0;
+  std::vector<IniKeyValue> entries;
+
+  /// Last value of `key`, or std::nullopt.
+  std::optional<std::string> get(std::string_view key) const;
+};
+
+/// A parsed document: sections in file order. Keys before any [section]
+/// header go into an implicit section with an empty name.
+struct IniDoc {
+  std::vector<IniSection> sections;
+};
+
+/// Parse or fail with a "line N: ..." message.
+struct IniResult {
+  std::optional<IniDoc> doc;
+  std::string error;
+
+  bool ok() const { return doc.has_value(); }
+};
+
+IniResult parse_ini(std::string_view text);
+
+}  // namespace dauct::serde

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace dauct::sim {
@@ -17,6 +18,10 @@ namespace dauct::sim {
 using SimTime = std::int64_t;
 
 inline constexpr SimTime kSimStart = 0;
+
+/// "Never": the open end of a fault window (a crash that never recovers, a
+/// link rule active for the whole run).
+inline constexpr SimTime kSimForever = std::numeric_limits<SimTime>::max();
 
 constexpr SimTime from_micros(std::int64_t us) { return us * 1'000; }
 constexpr SimTime from_millis(std::int64_t ms) { return ms * 1'000'000; }

@@ -1,0 +1,101 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+namespace dauct::sim {
+
+namespace {
+
+bool in_window(SimTime t, SimTime from, SimTime until) {
+  return t >= from && t < until;
+}
+
+}  // namespace
+
+bool LinkFault::matches(NodeId f, NodeId t, SimTime depart) const {
+  if (!in_window(depart, active_from, active_until)) return false;
+  const bool forward = (from == kNoNode || from == f) && (to == kNoNode || to == t);
+  if (forward) return true;
+  if (!symmetric || from == kNoNode || to == kNoNode) return false;
+  return from == t && to == f;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::severed(NodeId from, NodeId to, SimTime depart) {
+  for (const LinkCut& c : plan_.cuts) {
+    if (!in_window(depart, c.from, c.until)) continue;
+    if ((c.a == from && c.b == to) || (c.a == to && c.b == from)) {
+      ++stats_.cut_dropped;
+      return true;
+    }
+  }
+  for (const Partition& p : plan_.partitions) {
+    if (!in_window(depart, p.from, p.until)) continue;
+    const bool from_in = std::find(p.group.begin(), p.group.end(), from) != p.group.end();
+    const bool to_in = std::find(p.group.begin(), p.group.end(), to) != p.group.end();
+    if (from_in != to_in) {
+      ++stats_.partition_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::SendVerdict FaultInjector::on_send(NodeId from, NodeId to,
+                                                  SimTime depart) {
+  SendVerdict v;
+  // A down node emits nothing (its handler would not have run on a real
+  // crashed machine; the outbox of a handler that straddles the crash time
+  // is discarded as of the crash). Unlike wire drops below, the message
+  // never departed, so the caller charges no traffic for it.
+  if (down_at(from, depart, /*count=*/true)) {
+    v.emitted = false;
+    v.deliver = false;
+    return v;
+  }
+  if (severed(from, to, depart)) {
+    v.deliver = false;
+    return v;
+  }
+  // Stochastic rules: every matching rule applies, in plan order. Rules with
+  // zero rates draw nothing, keeping a zero-rate plan bit-identical to no
+  // plan (the RNG stream position only matters to *other* fault draws).
+  for (const LinkFault& r : plan_.links) {
+    if (!r.matches(from, to, depart)) continue;
+    if (r.drop > 0 && rng_.next_double() < r.drop) {
+      ++stats_.link_dropped;
+      v.deliver = false;
+      return v;
+    }
+    SimTime extra = r.extra_delay;
+    if (r.jitter > 0) extra += static_cast<SimTime>(rng_.next_below(
+        static_cast<std::uint64_t>(r.jitter) + 1));
+    v.extra_delay += extra;
+    if (r.duplicate > 0 && rng_.next_double() < r.duplicate) {
+      v.duplicate = true;
+      // The copy trails the original by up to one base-latency-ish window;
+      // sampled from the fault stream so it is plan-deterministic.
+      v.duplicate_delay = 1 + static_cast<SimTime>(rng_.next_below(from_millis(1)));
+    }
+  }
+  // Stats count *observable* perturbations, once per message, after the
+  // whole rule stack has spoken — a later rule dropping the message exits
+  // above, so a never-scheduled duplicate or delay is never reported.
+  if (v.extra_delay > 0) ++stats_.delayed;
+  if (v.duplicate) ++stats_.duplicated;
+  return v;
+}
+
+bool FaultInjector::down_at(NodeId node, SimTime at, bool count) {
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.node == node && in_window(at, c.at, c.recover_at)) {
+      if (count) ++stats_.crash_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dauct::sim

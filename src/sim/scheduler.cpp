@@ -39,6 +39,35 @@ void Scheduler::set_node_delay(NodeId node, SimTime extra) {
   node_delay_.at(node) = extra;
 }
 
+void Scheduler::install_fault_plan(FaultPlan plan) {
+  faults_ = std::make_unique<FaultInjector>(std::move(plan));
+}
+
+// Single exit onto the wire: let the fault injector decide the message's
+// fate, charge traffic for everything that actually departed (wire drops
+// count — the sender did send; a down sender's output does not), and
+// schedule the surviving copies. The injector draws from its own RNG
+// stream, so the no-plan path (one null test) and a zero-rate plan are both
+// bit-identical to the pre-fault-hook scheduler.
+void Scheduler::route(SimTime depart, SimTime lat, net::Message msg) {
+  if (faults_) {
+    const auto verdict = faults_->on_send(msg.from, msg.to, depart);
+    if (!verdict.emitted) return;  // down sender: never reached the wire
+    traffic_.messages += 1;
+    traffic_.bytes += msg.wire_size();
+    if (!verdict.deliver) return;  // lost on the (faulty) wire
+    lat += verdict.extra_delay;
+    if (verdict.duplicate) {
+      queue_.schedule_message(depart + lat + verdict.duplicate_delay, msg);
+    }
+    queue_.schedule_message(depart + lat, std::move(msg));
+    return;
+  }
+  traffic_.messages += 1;
+  traffic_.bytes += msg.wire_size();
+  queue_.schedule_message(depart + lat, std::move(msg));
+}
+
 void Scheduler::send(net::Message msg) {
   assert(msg.to < num_nodes_);
   if (in_handler_) {
@@ -48,18 +77,14 @@ void Scheduler::send(net::Message msg) {
     SimTime lat = latency_.sample(msg.wire_size(), rng_);
     lat += node_delay_[msg.to];
     if (msg.from < num_nodes_) lat += node_delay_[msg.from];
-    traffic_.messages += 1;
-    traffic_.bytes += msg.wire_size();
-    queue_.schedule_message(depart + lat, std::move(msg));
+    route(depart, lat, std::move(msg));
   }
 }
 
 void Scheduler::inject(SimTime at, net::Message msg) {
   assert(msg.to < num_nodes_);
-  SimTime lat = latency_.sample(msg.wire_size(), rng_) + node_delay_[msg.to];
-  traffic_.messages += 1;
-  traffic_.bytes += msg.wire_size();
-  queue_.schedule_message(at + lat, std::move(msg));
+  const SimTime lat = latency_.sample(msg.wire_size(), rng_) + node_delay_[msg.to];
+  route(at, lat, std::move(msg));
 }
 
 void Scheduler::charge(SimTime cost) {
@@ -72,15 +97,16 @@ void Scheduler::flush_outbox(SimTime depart) {
     SimTime lat = latency_.sample(msg.wire_size(), rng_);
     lat += node_delay_[msg.to];
     if (msg.from < num_nodes_) lat += node_delay_[msg.from];
-    traffic_.messages += 1;
-    traffic_.bytes += msg.wire_size();
-    queue_.schedule_message(depart + lat, std::move(msg));
+    route(depart, lat, std::move(msg));
   }
   outbox_.clear();
 }
 
 void Scheduler::deliver(SimTime at, net::Message msg) {
   const NodeId node = msg.to;
+  // A crashed receiver loses the delivery outright (no trace entry: the node
+  // never saw the message; there is no retransmission layer).
+  if (faults_ && faults_->down_at(node, at, /*count=*/true)) return;
   if (trace_enabled_) {
     trace_.push_back(TraceEntry{at, msg.from, node, msg.topic, msg.wire_size()});
   }

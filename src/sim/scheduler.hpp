@@ -18,14 +18,21 @@
 // (events tie-break by sequence number). With kMeasured, timing varies with
 // host load but protocol correctness never depends on it — blocks wait for
 // complete rounds, not on timing.
+//
+// Fault injection: install_fault_plan() routes every message through a
+// compiled sim::FaultInjector (drop / duplicate / delay / cut / partition /
+// crash, all in virtual time, drawing from its own seeded RNG stream). With
+// no plan installed the dispatch path pays one null-pointer test per message.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "crypto/rng.hpp"
 #include "net/message.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 
 namespace dauct::sim {
@@ -95,6 +102,18 @@ class Scheduler {
   /// `node` get an extra fixed delay.
   void set_node_delay(NodeId node, SimTime extra);
 
+  /// Install a fault plan (sim/fault.hpp): every subsequent send/inject and
+  /// delivery is routed through the compiled injector. Install before the
+  /// first event runs; installing a plan whose rates are all zero is
+  /// bit-identical to installing nothing. With no plan installed the
+  /// dispatch path pays a single null-pointer test per message.
+  void install_fault_plan(FaultPlan plan);
+
+  /// Injector bookkeeping; null when no plan is installed.
+  const FaultStats* fault_stats() const {
+    return faults_ ? &faults_->stats() : nullptr;
+  }
+
   /// Record every delivery (off by default; costs memory ∝ messages).
   void enable_trace(bool on) { trace_enabled_ = on; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
@@ -105,6 +124,7 @@ class Scheduler {
  private:
   void deliver(SimTime at, net::Message msg);
   void flush_outbox(SimTime depart);
+  void route(SimTime depart, SimTime lat, net::Message msg);
 
   std::size_t num_nodes_;
   LatencyModel latency_;
@@ -125,6 +145,7 @@ class Scheduler {
   std::vector<net::Message> outbox_;
 
   TrafficStats traffic_;
+  std::unique_ptr<FaultInjector> faults_;  ///< null = fault-free (the fast path)
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
 };

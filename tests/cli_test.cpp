@@ -1,0 +1,101 @@
+// dauct_cli smoke tests: drive the real binary (path baked in by CMake as
+// DAUCT_CLI_PATH) through its user-facing surface.
+//
+// The --help sync test is the enforcement half of a documentation contract:
+// every flag parse_args() understands must appear in the usage text (adding
+// a flag without documenting it fails here; kKnownFlags is the review
+// checklist — keep it in lockstep with parse_args and the README table).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+CommandResult run_command(const std::string& args) {
+  const std::string cmd = std::string(DAUCT_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CommandResult result;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// Every flag the CLI parses. Mirrors parse_args() in tools/dauct_cli.cpp.
+constexpr const char* kKnownFlags[] = {
+    "--auction",  "--users",   "--providers", "--seed",     "--bids",
+    "--asks",     "--k",       "--epsilon",   "--mode",     "--centralized",
+    "--runtime",  "--latency", "--trace",     "--scenario", "--csv",
+    "--help",
+};
+
+TEST(Cli, HelpMentionsEveryParsedFlag) {
+  const auto r = run_command("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag : kKnownFlags) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "flag " << flag << " is parsed but undocumented in --help";
+  }
+}
+
+TEST(Cli, UnknownFlagFailsAndPointsAtHelp) {
+  const auto r = run_command("--no-such-flag");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--help"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueFails) {
+  const auto r = run_command("--users");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("missing value"), std::string::npos);
+}
+
+TEST(Cli, SmallDistributedRunSucceeds) {
+  const auto r = run_command(
+      "--auction double --users 8 --providers 3 --k 1 --latency zero --seed 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("distributed auctioneer"), std::string::npos);
+  EXPECT_NE(r.output.find("totals:"), std::string::npos);
+}
+
+TEST(Cli, ScenarioRunsAndSelfChecks) {
+  const auto r = run_command(std::string("--scenario ") + DAUCT_SCENARIO_DIR +
+                             "/clean.scn");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("expectations: PASS"), std::string::npos);
+  EXPECT_NE(r.output.find("faults injected"), std::string::npos);
+}
+
+TEST(Cli, ScenarioWithMissingFileFails) {
+  const auto r = run_command("--scenario /nonexistent/nope.scn");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos);
+}
+
+TEST(Cli, ScenarioParseErrorIsReportedWithLine) {
+  const std::string path = testing::TempDir() + "/bad_scenario.scn";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("[run]\nusers = twelve\n", f);
+  fclose(f);
+  const auto r = run_command("--scenario " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("line 2"), std::string::npos);
+  remove(path.c_str());
+}
+
+}  // namespace

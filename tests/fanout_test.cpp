@@ -210,40 +210,13 @@ TEST(Fanout, TcpFrameRoundTripOverSharedPayload) {
 // Pre-refactor equivalence pins
 // ---------------------------------------------------------------------------
 
-struct GoldenRun {
-  std::size_t n, m, k;
-  std::uint64_t seed;
-  bool standard;
-  const char* result_sha256;     ///< sha256(encode_result(outcome))
-  std::uint64_t makespan;        ///< virtual ns
-  std::uint64_t messages;        ///< traffic counter
-  std::uint64_t bytes;           ///< traffic counter
-};
-
-// Fingerprints recorded from the pre-zero-copy implementation (deep-copied
-// topic + payload per recipient, per-recipient digest cache, std::function
-// message events) at fixed seeds. The zero-copy spine must reproduce every
-// run byte-for-byte: same outcome bytes, same virtual makespan, same traffic.
-const GoldenRun kGoldenRuns[] = {
-    {12, 3, 1, 99, true,
-     "c63eaeb3c70dd96aac6ac3f9b808bcb870435de1fd74bc236cb5bd69877e2dc2",
-     23823171, 69, 7716},
-    {12, 5, 2, 7, false,
-     "4533406cdccb450819482cdbdedaaf6b9634158650e8f6fcd5aa18d146fb5e5d",
-     25214028, 185, 22520},
-    {24, 4, 1, 11, false,
-     "9657860815b5dab899fc31b8173b100706284ac018d0e92927d3dc4ba55c2ca5",
-     25894473, 120, 20348},
-    {48, 7, 3, 5, true,
-     "fd60e91fbad69e57c8b0bae2f164d57b4a7fbfc9fce1902ae7be9a7182b60798",
-     30011108, 357, 89726},
-    {16, 3, 1, 123, false,
-     "02a7a7c57c0a090f897ec945a86a6db95ddf4b4019cbc5018f4257bf2eeb524a",
-     24210375, 69, 9402},
-};
+// The golden table lives in test_util.hpp (testutil::kGoldenRuns): the
+// zero-copy spine must reproduce every run byte-for-byte — same outcome
+// bytes, same virtual makespan, same traffic — and scenario_test.cpp holds
+// the fault-injection hooks to the same standard.
 
 TEST(FanoutEquivalence, FixedSeedRunsMatchPreRefactorFingerprints) {
-  for (const GoldenRun& g : kGoldenRuns) {
+  for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
     core::AuctioneerSpec spec;
     spec.m = g.m;
     spec.k = g.k;

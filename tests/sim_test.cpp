@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "sim/scheduler.hpp"
 
@@ -162,6 +163,150 @@ TEST(Scheduler, DeterministicWithSeed) {
   };
   EXPECT_EQ(run_once(7), run_once(7));
   EXPECT_NE(run_once(7), run_once(8));  // jitter differs
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at the scheduler level. Scenario-level coverage (plans via
+// SimRunConfig, .scn files, determinism pins) lives in scenario_test.cpp.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerFaults, DeterministicDropMatchesRule) {
+  // drop = 1 on the 0→1 direction only (symmetric = false).
+  FaultPlan plan;
+  LinkFault rule;
+  rule.from = 0;
+  rule.to = 1;
+  rule.symmetric = false;
+  rule.drop = 1.0;
+  plan.links.push_back(rule);
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  std::vector<std::string> log;
+  sched.set_deliver(0, [&](const net::Message& m) { log.push_back("n0:" + m.topic.str()); });
+  sched.set_deliver(1, [&](const net::Message& m) { log.push_back("n1:" + m.topic.str()); });
+  sched.inject(0, net::Message{0, 1, "lost", {}});
+  sched.inject(0, net::Message{1, 0, "kept", {}});  // reverse direction passes
+  sched.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"n0:kept"}));
+  ASSERT_NE(sched.fault_stats(), nullptr);
+  EXPECT_EQ(sched.fault_stats()->link_dropped, 1u);
+  // Traffic counts what was *sent*; the drop happened on the wire.
+  EXPECT_EQ(sched.traffic().messages, 2u);
+}
+
+TEST(SchedulerFaults, DuplicateDeliversTwice) {
+  FaultPlan plan;
+  LinkFault rule;
+  rule.duplicate = 1.0;
+  plan.links.push_back(rule);
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  int deliveries = 0;
+  sched.set_deliver(1, [&](const net::Message&) { ++deliveries; });
+  sched.inject(0, net::Message{0, 1, "echoed", {}});
+  sched.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(sched.fault_stats()->duplicated, 1u);
+}
+
+TEST(SchedulerFaults, ExtraDelayShiftsDelivery) {
+  FaultPlan plan;
+  LinkFault rule;
+  rule.extra_delay = from_millis(7);
+  plan.links.push_back(rule);
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  SimTime at = -1;
+  sched.set_deliver(1, [&](const net::Message&) { at = sched.now(); });
+  sched.inject(from_millis(1), net::Message{0, 1, "late", {}});
+  sched.run();
+  EXPECT_EQ(at, from_millis(8));
+  EXPECT_EQ(sched.fault_stats()->delayed, 1u);
+}
+
+TEST(SchedulerFaults, LinkCutIsSymmetricAndWindowed) {
+  FaultPlan plan;
+  plan.cuts.push_back(LinkCut{0, 1, from_millis(10), from_millis(20)});
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  int delivered = 0;
+  sched.set_deliver(0, [&](const net::Message&) { ++delivered; });
+  sched.set_deliver(1, [&](const net::Message&) { ++delivered; });
+  sched.inject(from_millis(5), net::Message{0, 1, "before", {}});   // passes
+  sched.inject(from_millis(15), net::Message{0, 1, "during", {}});  // cut
+  sched.inject(from_millis(15), net::Message{1, 0, "reverse", {}});  // cut too
+  sched.inject(from_millis(25), net::Message{0, 1, "after", {}});   // healed
+  sched.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(sched.fault_stats()->cut_dropped, 2u);
+}
+
+TEST(SchedulerFaults, PartitionDropsCrossTrafficOnly) {
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{{0, 1}, 0, kSimForever});
+
+  Scheduler sched(3, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  std::vector<std::string> log;
+  for (NodeId j = 0; j < 3; ++j) {
+    sched.set_deliver(j, [&log, j](const net::Message& m) {
+      std::string entry = "n";
+      entry += std::to_string(j);
+      entry += ":";
+      entry += m.topic.str();
+      log.push_back(std::move(entry));
+    });
+  }
+  sched.inject(0, net::Message{0, 1, "inside", {}});   // both in group
+  sched.inject(0, net::Message{0, 2, "cross", {}});    // dropped
+  sched.inject(0, net::Message{2, 1, "cross2", {}});   // dropped
+  sched.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"n1:inside"}));
+  EXPECT_EQ(sched.fault_stats()->partition_dropped, 2u);
+}
+
+TEST(SchedulerFaults, CrashedNodeNeitherReceivesNorSends) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, from_millis(10)});
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  std::vector<std::string> log;
+  sched.set_deliver(0, [&](const net::Message& m) { log.push_back("n0:" + m.topic.str()); });
+  sched.set_deliver(1, [&](const net::Message& m) {
+    log.push_back("n1:" + m.topic.str());
+    sched.send(net::Message{1, 0, "reply/" + m.topic.str(), {}});
+  });
+  sched.inject(from_millis(5), net::Message{0, 1, "alive", {}});
+  // Arrives at 12 ms — after the crash: dropped at delivery, no reply.
+  sched.inject(from_millis(12), net::Message{0, 1, "dead", {}});
+  sched.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"n1:alive", "n0:reply/alive"}));
+  EXPECT_EQ(sched.fault_stats()->crash_dropped, 1u);
+}
+
+TEST(SchedulerFaults, CrashRecoverRestoresDelivery) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, from_millis(10), from_millis(20)});
+
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  sched.install_fault_plan(plan);
+  std::vector<SimTime> seen;
+  sched.set_deliver(1, [&](const net::Message&) { seen.push_back(sched.now()); });
+  sched.inject(from_millis(15), net::Message{0, 1, "lost", {}});
+  sched.inject(from_millis(21), net::Message{0, 1, "kept", {}});
+  sched.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{from_millis(21)}));
+  EXPECT_EQ(sched.fault_stats()->crash_dropped, 1u);
+}
+
+TEST(SchedulerFaults, NoPlanMeansNoStats) {
+  Scheduler sched(2, LatencyModel::zero(), 1);
+  EXPECT_EQ(sched.fault_stats(), nullptr);
 }
 
 TEST(FormatTime, Millis) { EXPECT_EQ(format_time(from_millis(12) + 345'000), "12.345ms"); }

@@ -1,9 +1,14 @@
 // Shared test helpers: a deterministic local network for driving protocol
-// blocks without a full runtime, plus instance factories.
+// blocks without a full runtime, instance factories, golden end-to-end
+// fingerprints, and file loading for the scenario-driven suites.
 #pragma once
 
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <vector>
 
 #include "auction/types.hpp"
@@ -49,5 +54,50 @@ inline auction::AuctionInstance make_instance(std::size_t n, std::size_t m,
                                : auction::double_auction_workload(n, m);
   return auction::generate(params, rng);
 }
+
+/// Read a whole file; std::nullopt if it cannot be opened (callers ASSERT —
+/// a missing scenario file must fail the test, not silently parse as "").
+inline std::optional<std::string> slurp_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One pinned end-to-end run: fixed instance + seed and the full fingerprint
+/// the run must reproduce byte-for-byte.
+struct GoldenRun {
+  std::size_t n, m, k;
+  std::uint64_t seed;
+  bool standard;
+  const char* result_sha256;     ///< sha256(encode_result(outcome))
+  std::uint64_t makespan;        ///< virtual ns
+  std::uint64_t messages;        ///< traffic counter
+  std::uint64_t bytes;           ///< traffic counter
+};
+
+// Fingerprints recorded from the pre-zero-copy implementation (deep-copied
+// topic + payload per recipient, per-recipient digest cache, std::function
+// message events) at fixed seeds. Pinned by fanout_test.cpp (the zero-copy
+// spine must reproduce them) and by scenario_test.cpp (a run with a zero-rate
+// fault plan installed must too — the fault hooks may not perturb anything).
+inline constexpr GoldenRun kGoldenRuns[] = {
+    {12, 3, 1, 99, true,
+     "c63eaeb3c70dd96aac6ac3f9b808bcb870435de1fd74bc236cb5bd69877e2dc2",
+     23823171, 69, 7716},
+    {12, 5, 2, 7, false,
+     "4533406cdccb450819482cdbdedaaf6b9634158650e8f6fcd5aa18d146fb5e5d",
+     25214028, 185, 22520},
+    {24, 4, 1, 11, false,
+     "9657860815b5dab899fc31b8173b100706284ac018d0e92927d3dc4ba55c2ca5",
+     25894473, 120, 20348},
+    {48, 7, 3, 5, true,
+     "fd60e91fbad69e57c8b0bae2f164d57b4a7fbfc9fce1902ae7be9a7182b60798",
+     30011108, 357, 89726},
+    {16, 3, 1, 123, false,
+     "02a7a7c57c0a090f897ec945a86a6db95ddf4b4019cbc5018f4257bf2eeb524a",
+     24210375, 69, 9402},
+};
 
 }  // namespace dauct::testutil

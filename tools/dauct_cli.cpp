@@ -10,6 +10,7 @@
 //   dauct_cli --bids bids.csv --asks asks.csv --k 1 --csv
 //   dauct_cli --auction double --users 20 --providers 4 --runtime tcp
 //   dauct_cli --auction double --users 20 --providers 4 --centralized
+//   dauct_cli --scenario scenarios/k_crash.scn
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,7 @@
 
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
+#include "runtime/scenario.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "runtime/tcp_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
@@ -39,6 +41,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::string bids_file;
   std::string asks_file;
+  std::string scenario_file;
   bool centralized = false;
   bool csv_output = false;
   bool trace = false;
@@ -66,6 +69,12 @@ execution:
   --runtime sim|thread|tcp    runtime (default sim: virtual-time simulation)
   --latency zero|lan|community  sim network model (default community)
   --trace                     print the sim message trace (first 60 entries)
+
+scenario (deterministic fault injection; see docs/SCENARIOS.md):
+  --scenario FILE.scn         run a declarative scenario (link faults, cuts,
+                              partitions, crashes, deviations) on the sim
+                              runtime and check its [expect] assertions;
+                              exits 0 iff they hold (ignores flags above)
 
 output:
   --csv                       machine-readable CSV instead of the report
@@ -125,6 +134,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--asks") {
       if (!(v = need_value(i))) return false;
       opt.asks_file = v;
+    } else if (arg == "--scenario") {
+      if (!(v = need_value(i))) return false;
+      opt.scenario_file = v;
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
       return false;
@@ -169,6 +181,66 @@ void print_report(const auction::AuctionInstance& instance,
               result.payments.total_received().str().c_str());
 }
 
+/// Run a declarative .scn scenario and report the expectation verdicts.
+/// Exit codes: 0 expectations hold, 1 file/parse error, 3 violated.
+int run_scenario_file(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) return fail("cannot read " + path);
+  const auto parsed = runtime::parse_scenario(*text);
+  if (!parsed.ok()) return fail(path + ": " + parsed.error);
+  const runtime::Scenario& sc = *parsed.scenario;
+
+  std::printf("# scenario: %s%s%s\n", sc.name.empty() ? path.c_str() : sc.name.c_str(),
+              sc.description.empty() ? "" : " — ", sc.description.c_str());
+  std::printf("# run: %s auction, n=%zu m=%zu k=%zu, seed=%llu, latency=%s; "
+              "%zu link rule(s), %zu cut(s), %zu partition(s), %zu crash(es), "
+              "%zu deviation(s)\n",
+              sc.auction.c_str(), sc.users, sc.providers, sc.k,
+              static_cast<unsigned long long>(sc.seed), sc.latency.c_str(),
+              sc.faults.links.size(), sc.faults.cuts.size(),
+              sc.faults.partitions.size(), sc.faults.crashes.size(),
+              sc.deviations.size());
+
+  const auto run = runtime::run_scenario(sc);
+  const auto& r = run.run;
+  if (r.global_outcome.ok()) {
+    std::printf("outcome: (x, p\xE2\x83\x97) reached — result sha256 %s\n",
+                run.result_digest.c_str());
+  } else {
+    std::printf("outcome: \xE2\x8A\xA5 (%s%s)\n",
+                abort_reason_name(r.global_outcome.bottom().reason),
+                r.stalled ? ", stalled" : "");
+  }
+  std::printf("makespan: %s virtual; traffic: %llu msgs, %llu bytes\n",
+              sim::format_time(r.makespan).c_str(),
+              static_cast<unsigned long long>(r.traffic.messages),
+              static_cast<unsigned long long>(r.traffic.bytes));
+  const auto& fs = r.fault_stats;
+  std::printf("faults injected: %llu dropped (link %llu, cut %llu, partition "
+              "%llu, crash %llu), %llu duplicated, %llu delayed\n",
+              static_cast<unsigned long long>(fs.total_dropped()),
+              static_cast<unsigned long long>(fs.link_dropped),
+              static_cast<unsigned long long>(fs.cut_dropped),
+              static_cast<unsigned long long>(fs.partition_dropped),
+              static_cast<unsigned long long>(fs.crash_dropped),
+              static_cast<unsigned long long>(fs.duplicated),
+              static_cast<unsigned long long>(fs.delayed));
+  if (run.clean) {
+    std::printf("fault-free twin: %s\n",
+                run.clean->global_outcome.ok()
+                    ? ("result sha256 " + run.clean_digest).c_str()
+                    : "\xE2\x8A\xA5");
+  }
+  if (run.ok()) {
+    std::printf("expectations: PASS\n");
+    return 0;
+  }
+  for (const auto& f : run.failures) {
+    std::printf("expectation FAILED: %s\n", f.c_str());
+  }
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +250,8 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+
+  if (!opt.scenario_file.empty()) return run_scenario_file(opt.scenario_file);
 
   // --- Market -----------------------------------------------------------
   auction::AuctionInstance instance;
