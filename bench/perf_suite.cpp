@@ -405,6 +405,63 @@ void BM_e2e_faulty_lossy(State& state) {
 }
 TINYBENCH(BM_e2e_faulty_lossy)->Args({48, 4})->Args({128, 8});
 
+// Reliability-layer end-to-end sweeps (net/reliable.hpp). Its cost when
+// *disabled* is pinned by BM_e2e_sim_distributed staying flat vs the
+// committed baseline — no link is constructed, no timer is ever scheduled.
+// Two active regimes:
+//  * _clean — reliability on over a fault-free network: pure ack/tracking
+//    overhead (one ack per data message, one no-op timer per tracked send);
+//  * _lossy — the same 2% loss plan as BM_e2e_faulty_lossy, which *stalled*
+//    without the layer; with it the run completes, so this measures the full
+//    recovery path (retransmit timers, dedup, re-acks) at full protocol
+//    volume, and is directly comparable against the faulty_lossy point.
+void BM_e2e_reliable_clean(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.reliability.enable = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_reliable_clean)->Args({48, 4})->Args({128, 8});
+
+void BM_e2e_reliable_lossy(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  sim::LinkFault rule;
+  rule.drop = 0.02;
+  rule.active_from = sim::from_millis(4);  // let the client batches land
+  plan.links.push_back(rule);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.faults = plan;
+    cfg.reliability.enable = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_reliable_lossy)->Args({48, 4})->Args({128, 8});
+
 // Solver-inclusive end-to-end point (the PR 2 trajectory number): the
 // ε-approximate standard auction through the full distributed protocol.
 void BM_e2e_sim_standard(State& state) {

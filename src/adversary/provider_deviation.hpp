@@ -67,6 +67,10 @@ class DeviantEndpoint final : public blocks::Endpoint {
   NodeId self() const override { return inner_.self(); }
   std::size_t num_providers() const override { return inner_.num_providers(); }
   crypto::Rng& rng() override { return inner_.rng(); }
+  bool schedule_after(std::int64_t delay_ns, std::function<void()> fn) override {
+    return inner_.schedule_after(delay_ns, std::move(fn));
+  }
+  std::int64_t round_timeout() const override { return inner_.round_timeout(); }
 
   void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
     auto rewritten = strategy_->on_send(self(), to, topic.str(), payload);

@@ -2,6 +2,12 @@
 
 namespace dauct::blocks {
 
+bool Endpoint::schedule_after(std::int64_t delay_ns, std::function<void()> fn) {
+  (void)delay_ns;
+  (void)fn;
+  return false;  // no timer facility: round watchdogs degrade to no-ops
+}
+
 void Endpoint::broadcast(const net::Topic& topic, const SharedBytes& payload) {
   const std::size_t m = num_providers();
   for (NodeId j = 0; j < m; ++j) {
@@ -32,7 +38,34 @@ bool RoundCollector::add(NodeId from, SharedBytes payload) {
   seen_[from] = true;
   payloads_[from] = std::move(payload);
   ++received_;
+  if (complete()) watch_.reset();  // pending watchdog timers become no-ops
   return true;
+}
+
+void RoundCollector::arm(Endpoint& endpoint, const net::Topic& topic) {
+  const std::int64_t timeout = endpoint.round_timeout();
+  if (timeout <= 0 || complete()) return;
+  watch_ = std::make_shared<Watch>(Watch{&endpoint, topic, this, kMaxRoundRequeries});
+  schedule_watch(watch_, timeout);
+}
+
+void RoundCollector::schedule_watch(const std::shared_ptr<Watch>& watch,
+                                    std::int64_t timeout) {
+  // The timer holds the watch weakly: when the round completes or the block
+  // cancels, the shared state dies and due timers evaporate.
+  watch->endpoint->schedule_after(timeout, [weak = std::weak_ptr<Watch>(watch),
+                                            timeout] {
+    const auto w = weak.lock();
+    if (!w || w->fires_left == 0) return;
+    --w->fires_left;
+    const RoundCollector& round = *w->round;
+    const SharedBytes request{Bytes(w->topic.str().begin(), w->topic.str().end())};
+    const net::Topic rreq(net::kRetransmitRequestTopicName);
+    for (NodeId j = 0; j < round.payloads_.size(); ++j) {
+      if (!round.seen_[j]) w->endpoint->send(j, rreq, request);
+    }
+    schedule_watch(w, timeout);
+  });
 }
 
 }  // namespace dauct::blocks

@@ -8,6 +8,9 @@
 // threaded, and TCP runtimes.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +45,17 @@ class Endpoint {
   /// randomness — that is what the common coin produces.
   virtual crypto::Rng& rng() = 0;
 
+  /// Virtual-time timer support for the reliability layer (net/reliable.hpp):
+  /// run `fn` after `delay_ns` of virtual time in this node's execution
+  /// context. Returns false when the runtime has no timer facility (the
+  /// default — thread/TCP runtimes); callers must degrade to timeout-free
+  /// behaviour. Wrapper endpoints forward to the wrapped endpoint.
+  virtual bool schedule_after(std::int64_t delay_ns, std::function<void()> fn);
+
+  /// Round liveness timeout of the reliability layer, in virtual ns; 0 (the
+  /// default) disables the round watchdogs (RoundCollector::arm is a no-op).
+  virtual std::int64_t round_timeout() const { return 0; }
+
   /// Send to all m providers, *including self* (self-delivery keeps round
   /// bookkeeping uniform: every round collects exactly m messages). The
   /// topic, payload bytes, and digest slot are allocated once; every
@@ -74,10 +88,37 @@ class RoundCollector {
 
   bool has(NodeId from) const { return from < seen_.size() && seen_[from]; }
 
+  /// Arm the round liveness watchdog: while the round is incomplete, every
+  /// `endpoint.round_timeout()` of virtual time, send a targeted re-request
+  /// (net::kRetransmitRequestTopicName, payload = the round topic string) to
+  /// every provider whose contribution is still missing — the peer's
+  /// ReliableLink answers from its last-sent cache. Re-arms at most
+  /// kMaxRoundRequeries times, so an unrecoverable round drains instead of
+  /// spinning. A no-op when the endpoint has no timer facility or its
+  /// round_timeout() is zero (reliability off: nothing changes).
+  void arm(Endpoint& endpoint, const net::Topic& topic);
+
+  /// Drop the watchdog (call when the owning block finishes for any reason
+  /// other than this round completing; completion disarms automatically).
+  void cancel() { watch_.reset(); }
+
  private:
+  /// Re-request rounds per armed collector before giving up on the round.
+  static constexpr std::size_t kMaxRoundRequeries = 16;
+
+  struct Watch {
+    Endpoint* endpoint;
+    net::Topic topic;
+    const RoundCollector* round;
+    std::size_t fires_left;
+  };
+  static void schedule_watch(const std::shared_ptr<Watch>& watch,
+                             std::int64_t timeout);
+
   std::vector<SharedBytes> payloads_;
   std::vector<bool> seen_;
   std::size_t received_ = 0;
+  std::shared_ptr<Watch> watch_;  ///< null unless armed
 };
 
 }  // namespace dauct::blocks

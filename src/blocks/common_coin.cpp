@@ -43,10 +43,13 @@ void CommonCoin::start(const DistributionSpec& spec) {
   my_opening_ = opening;
   endpoint_.broadcast(commit_topic_,
                       Bytes(commitment.digest.begin(), commitment.digest.end()));
+  commits_.arm(endpoint_, commit_topic_);
 }
 
 void CommonCoin::abort(AbortReason reason, std::string detail) {
   if (!result_) result_ = Outcome<CoinValue>(Bottom{reason, std::move(detail)});
+  commits_.cancel();
+  reveals_.cancel();
 }
 
 bool CommonCoin::handle(const net::Message& msg) {
@@ -89,6 +92,7 @@ void CommonCoin::maybe_reveal() {
   w.u64(my_opening_.value);
   w.raw(BytesView(my_opening_.nonce.data(), my_opening_.nonce.size()));
   endpoint_.broadcast(reveal_topic_, w.take());
+  reveals_.arm(endpoint_, reveal_topic_);
 }
 
 void CommonCoin::maybe_decide() {

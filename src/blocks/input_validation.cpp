@@ -12,6 +12,7 @@ void InputValidation::start(Bytes input) {
   my_digest_ = crypto::sha256(BytesView(input_));
   started_ = true;
   endpoint_.broadcast(topic_, crypto::digest_bytes(my_digest_));
+  digests_.arm(endpoint_, topic_);
   maybe_decide();
 }
 
@@ -20,10 +21,12 @@ bool InputValidation::handle(const net::Message& msg) {
   if (result_) return true;
   if (msg.payload.size() != 32) {
     result_ = Outcome<Bytes>(Bottom{AbortReason::kProtocolViolation, "malformed digest"});
+    digests_.cancel();
     return true;
   }
   if (!digests_.add(msg.from, msg.payload)) {
     result_ = Outcome<Bytes>(Bottom{AbortReason::kProtocolViolation, "duplicate digest"});
+    digests_.cancel();
     return true;
   }
   maybe_decide();
@@ -37,6 +40,7 @@ void InputValidation::maybe_decide() {
     if (digests_.payloads()[j] != mine) {
       result_ = Outcome<Bytes>(Bottom{AbortReason::kInputMismatch,
                                       "input digest differs at provider " + std::to_string(j)});
+      digests_.cancel();
       return;
     }
   }

@@ -12,6 +12,7 @@ void OutputAgreement::start(Bytes my_result) {
   my_digest_ = crypto::digest_bytes(crypto::sha256(BytesView(my_result_)));
   started_ = true;
   endpoint_.broadcast(topic_, my_digest_);
+  digests_.arm(endpoint_, topic_);
   maybe_decide();
 }
 
@@ -21,11 +22,13 @@ bool OutputAgreement::handle(const net::Message& msg) {
   if (msg.payload.size() != 32) {
     result_ = Outcome<Bytes>(
         Bottom{AbortReason::kProtocolViolation, "malformed output digest"});
+    digests_.cancel();
     return true;
   }
   if (!digests_.add(msg.from, msg.payload)) {
     result_ = Outcome<Bytes>(
         Bottom{AbortReason::kProtocolViolation, "duplicate output digest"});
+    digests_.cancel();
     return true;
   }
   maybe_decide();
@@ -39,6 +42,7 @@ void OutputAgreement::maybe_decide() {
       result_ = Outcome<Bytes>(
           Bottom{AbortReason::kOutputMismatch,
                  "output digest differs at provider " + std::to_string(j)});
+      digests_.cancel();
       return;
     }
   }

@@ -25,6 +25,7 @@ enum class AbortReason {
   kProtocolViolation,      ///< malformed message / impossible transition
   kTimeout,                ///< runtime gave up waiting (test harness only)
   kCascaded,               ///< an earlier block aborted
+  kDeliveryFailed,         ///< reliability layer exhausted its retransmits
 };
 
 /// Human-readable reason name (for logs and test failure messages).
@@ -40,6 +41,7 @@ constexpr const char* abort_reason_name(AbortReason r) {
     case AbortReason::kProtocolViolation: return "protocol-violation";
     case AbortReason::kTimeout: return "timeout";
     case AbortReason::kCascaded: return "cascaded";
+    case AbortReason::kDeliveryFailed: return "delivery-failed";
   }
   return "unknown";
 }

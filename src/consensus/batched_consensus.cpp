@@ -45,10 +45,13 @@ void BatchedConsensus::start(const std::vector<Bytes>& input) {
   std::vector<Bytes> slots = input;
   slots.resize(num_slots_);
   endpoint_.broadcast(vote_topic_, encode_slots(slots));
+  votes_.arm(endpoint_, vote_topic_);
 }
 
 void BatchedConsensus::abort(AbortReason reason, std::string detail) {
   if (!result_) result_ = Outcome<std::vector<Bytes>>(Bottom{reason, std::move(detail)});
+  votes_.cancel();
+  echoes_.cancel();
 }
 
 bool BatchedConsensus::handle(const net::Message& msg) {
@@ -99,6 +102,7 @@ void BatchedConsensus::maybe_echo() {
     append(echo, BytesView(d.data(), d.size()));
   }
   endpoint_.broadcast(echo_topic_, std::move(echo));
+  echoes_.arm(endpoint_, echo_topic_);
 }
 
 void BatchedConsensus::maybe_decide() {

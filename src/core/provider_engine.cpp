@@ -41,11 +41,13 @@ void ProviderEngine::start(const std::vector<auction::Bid>& my_bids) {
   w.money(my_ask_.unit_cost);
   w.money(my_ask_.capacity);
   endpoint_.broadcast(ask_topic_, w.take());
+  asks_.arm(endpoint_, ask_topic_);
   bid_agreement_.start(my_bids);
 }
 
 void ProviderEngine::local_abort(Bottom bottom) {
   if (outcome_) return;
+  asks_.cancel();
   outcome_ = auction::AuctionOutcome(bottom);
   if (!abort_sent_) {
     abort_sent_ = true;
@@ -87,6 +89,7 @@ void ProviderEngine::on_message(const net::Message& msg) {
     if (!outcome_ && msg.from < config_.m) {
       DAUCT_DEBUG("provider " << endpoint_.self() << ": cascaded abort from "
                               << msg.from);
+      asks_.cancel();
       outcome_ = auction::AuctionOutcome(
           Bottom{AbortReason::kCascaded,
                  "abort notified by provider " + std::to_string(msg.from)});

@@ -43,6 +43,11 @@ class ProviderEngine {
 
   void on_message(const net::Message& msg);
 
+  /// Abort from outside the message flow (the reliability layer's give-up
+  /// path: a peer stayed unreachable through every retransmit). Broadcasts
+  /// the abort like any local ⊥; a no-op once an outcome is decided.
+  void abort(Bottom bottom) { local_abort(std::move(bottom)); }
+
   bool done() const { return outcome_.has_value(); }
   const std::optional<auction::AuctionOutcome>& outcome() const { return outcome_; }
 

@@ -13,10 +13,14 @@ void sha256_into(const std::uint8_t* data, std::size_t size, std::uint8_t out[32
 }
 }  // namespace
 
-const crypto::Digest& Message::payload_digest() const {
+const crypto::Digest& payload_digest(const SharedBytes& payload) {
   static_assert(std::is_same_v<crypto::Digest, std::array<std::uint8_t, 32>>,
                 "the SharedBytes digest slot doubles as a crypto::Digest");
   return payload.shared_digest(&sha256_into);
+}
+
+const crypto::Digest& Message::payload_digest() const {
+  return net::payload_digest(payload);
 }
 
 Bytes encode_frame(const Message& msg) {

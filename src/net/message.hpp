@@ -23,6 +23,13 @@
 
 namespace dauct::net {
 
+/// Control topics of the reliability layer (net/reliable.hpp; wire contract
+/// in docs/RELIABILITY.md). Declared at the message layer because both the
+/// link (which consumes them) and the blocks' round watchdogs (which send
+/// re-requests) need the names.
+inline constexpr std::string_view kAckTopicName = "rl/ack";
+inline constexpr std::string_view kRetransmitRequestTopicName = "rl/rreq";
+
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
@@ -42,6 +49,12 @@ struct Message {
   /// Replace the payload (new buffer, fresh digest slot).
   void set_payload(SharedBytes p) { payload = std::move(p); }
 };
+
+/// SHA-256 of a payload buffer via its shared digest slot — the same slot
+/// Message::payload_digest() fills, for callers that hold a SharedBytes
+/// without a Message (the reliability layer's send path). All users of the
+/// slot must share one digest function; this is it.
+const crypto::Digest& payload_digest(const SharedBytes& payload);
 
 /// Length-prefixed frame encoding for stream transports (TCP). Single-buffer:
 /// the exact body size is computed up front, so the length prefix and body

@@ -1,0 +1,146 @@
+#include "net/reliable.hpp"
+
+#include <cstring>
+
+namespace dauct::net {
+
+namespace {
+
+std::uint64_t cache_key(NodeId to, std::uint32_t topic) {
+  return (static_cast<std::uint64_t>(to) << 32) | topic;
+}
+
+}  // namespace
+
+std::size_t ReliableLink::MsgKeyHash::operator()(const MsgKey& k) const {
+  // The sha256 prefix is already uniform; fold in the peer and topic so two
+  // peers' copies of one broadcast payload land in different buckets.
+  std::uint64_t h;
+  std::memcpy(&h, k.digest.data(), sizeof h);
+  h ^= static_cast<std::uint64_t>(k.node) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(k.topic) << 32;
+  return static_cast<std::size_t>(h);
+}
+
+ReliableLink::ReliableLink(blocks::Endpoint& base, ReliabilityConfig config)
+    : base_(base),
+      config_(config),
+      m_(base.num_providers()),
+      ack_topic_(kAckTopicName),
+      rreq_topic_(kRetransmitRequestTopicName) {}
+
+void ReliableLink::send(NodeId to, const net::Topic& topic, SharedBytes payload) {
+  if (topic == rreq_topic_) {
+    // Round-watchdog re-requests are themselves fire-and-forget: the
+    // watchdog re-arms, so a lost re-request costs one timeout, not a stall.
+    ++stats_.rerequests_sent;
+    base_.send(to, topic, std::move(payload));
+    return;
+  }
+  if (to >= m_) {  // outside the provider reliability domain
+    base_.send(to, topic, std::move(payload));
+    return;
+  }
+  sent_cache_[cache_key(to, topic.id())] = payload;
+  if (timers_available_) {
+    const MsgKey key{to, topic.id(), payload_digest(payload)};
+    const auto [it, inserted] = unacked_.emplace(key, Pending{to, topic, payload, 0});
+    if (inserted) {
+      if (schedule_retransmit(key, 0)) {
+        ++stats_.tracked;
+      } else {
+        // The wrapped endpoint has no timer facility (thread/TCP runtimes):
+        // retransmission is impossible, so don't accumulate pending entries
+        // that nothing will ever retire. Acks-out and receiver-side dedup
+        // keep working; delivery guarantees degrade to the transport's own.
+        timers_available_ = false;
+        unacked_.erase(it);
+      }
+    }
+  }
+  base_.send(to, topic, std::move(payload));
+}
+
+bool ReliableLink::schedule_retransmit(const MsgKey& key, std::size_t attempt) {
+  // Exponential backoff in virtual time: delay · 2^attempt (capped well
+  // below overflow; max_retries bounds the chain anyway).
+  const sim::SimTime delay =
+      config_.retransmit_delay << std::min<std::size_t>(attempt, 16);
+  return base_.schedule_after(delay, [this, weak = std::weak_ptr<int>(alive_), key] {
+    if (weak.expired()) return;
+    const auto it = unacked_.find(key);
+    if (it == unacked_.end()) return;  // acked meanwhile
+    Pending& p = it->second;
+    if (p.attempt >= config_.max_retries) {
+      ++stats_.give_ups;
+      const NodeId to = p.to;
+      const net::Topic topic = p.topic;
+      const std::size_t attempts = p.attempt + 1;  // original + retransmits
+      unacked_.erase(it);
+      if (on_give_up_) on_give_up_(to, topic, attempts);
+      return;
+    }
+    ++p.attempt;
+    ++stats_.retransmits;
+    base_.send(p.to, p.topic, p.payload);
+    schedule_retransmit(key, p.attempt);
+  });
+}
+
+void ReliableLink::send_ack(const net::Message& msg) {
+  // Ack frame (docs/RELIABILITY.md): topic string ++ raw 32-byte payload
+  // digest. The fixed-size tail makes the split unambiguous without framing.
+  const std::string& topic = msg.topic.str();
+  const crypto::Digest digest = payload_digest(msg.payload);
+  Bytes ack;
+  ack.reserve(topic.size() + digest.size());
+  ack.insert(ack.end(), topic.begin(), topic.end());
+  ack.insert(ack.end(), digest.begin(), digest.end());
+  ++stats_.acks_sent;
+  base_.send(msg.from, ack_topic_, SharedBytes(std::move(ack)));
+}
+
+bool ReliableLink::on_deliver(const net::Message& msg) {
+  // Control frames name topics as strings chosen by the peer: resolve them
+  // with a find-only registry query (Topic::lookup) — a name no local block
+  // ever interned cannot match any pending entry or cached payload, so it
+  // is dropped instead of interned (the append-only registry must stay
+  // bounded by protocol structure, not by hostile traffic).
+  if (msg.topic == ack_topic_) {
+    const BytesView v = msg.payload.view();
+    if (v.size() < 32) return false;  // malformed ack: drop
+    const auto topic = net::Topic::lookup(std::string_view(
+        reinterpret_cast<const char*>(v.data()), v.size() - 32));
+    if (!topic) return false;  // ack for a topic nobody here ever sent
+    MsgKey key{msg.from, topic->id(), {}};
+    std::memcpy(key.digest.data(), v.data() + (v.size() - 32), 32);
+    unacked_.erase(key);  // redundant re-acks miss and are fine
+    ++stats_.acks_received;
+    return false;
+  }
+  if (msg.topic == rreq_topic_) {
+    const BytesView v = msg.payload.view();
+    if (v.empty()) return false;  // malformed re-request: drop
+    const auto topic = net::Topic::lookup(
+        std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
+    if (!topic) return false;  // unknown round topic: nothing cached anyway
+    // Resend untracked: the original's ack/retransmit entry (if still
+    // pending) keeps running, and the receiver dedups either way.
+    if (const auto it = sent_cache_.find(cache_key(msg.from, topic->id()));
+        it != sent_cache_.end()) {
+      ++stats_.rerequests_answered;
+      base_.send(msg.from, *topic, it->second);
+    }
+    return false;
+  }
+  if (msg.from >= m_) return true;  // client traffic: no acks, no dedup
+  send_ack(msg);  // ack every copy — a lost ack is recovered by the re-ack
+  if (!seen_.insert(MsgKey{msg.from, msg.topic.id(), payload_digest(msg.payload)})
+           .second) {
+    ++stats_.duplicates_suppressed;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dauct::net

@@ -1,0 +1,159 @@
+// Reliable-delivery layer: ack/retransmit + dedup between the protocol
+// blocks and a lossy transport.
+//
+// The paper's model assumes reliable non-duplicating channels; the simulated
+// community network (sim/fault.hpp) is neither. ReliableLink restores the
+// channel contract on top of it:
+//
+//   engine → [DeviantEndpoint] → ReliableLink → SimEndpoint → scheduler
+//
+//  * Sender side: every data message to a provider is keyed by
+//    (peer, topic, sha256(payload)) and kept until the matching ack arrives.
+//    A virtual-time timer retransmits it with exponential backoff
+//    (retransmit_delay · 2^attempt); after max_retries unacked retransmits
+//    the link gives up and reports the peer unreachable through the give-up
+//    callback (the runtime turns that into a clean ⊥ with
+//    AbortReason::kDeliveryFailed — termination instead of a silent stall).
+//  * Receiver side: every data message from a provider is acked
+//    (net::kAckTopicName, payload = topic string ++ 32-byte payload digest)
+//    and deduplicated by the same digest key *before* the blocks see it, so
+//    a retransmitted or network-duplicated copy is never misread as
+//    equivocation by a RoundCollector. Duplicates are re-acked: a lost ack
+//    costs one retransmit, not a stall.
+//  * Re-requests: the link keeps the last payload it sent per (peer, topic)
+//    and answers net::kRetransmitRequestTopicName messages from it — the
+//    recovery path the blocks' round watchdogs (RoundCollector::arm) use
+//    when sender-driven retransmission cannot help: the sender already gave
+//    up, or it crashed before ever sending (its due timers are deferred to
+//    the recovery instant by the scheduler, not lost — but a contribution
+//    it never produced has no timer to defer).
+//
+// Everything runs in virtual time through the wrapped endpoint's
+// schedule_after(); with reliability disabled no link is constructed and the
+// event stream is byte-identical to the pre-reliability implementation
+// (pinned against the golden fingerprints). Full wire contract:
+// docs/RELIABILITY.md.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "blocks/block.hpp"
+#include "sim/clock.hpp"
+
+namespace dauct::net {
+
+/// Declarative reliability knobs, threaded from scenario files / CLI flags
+/// through SimRunConfig. Defaults are tuned for the community latency model
+/// (one-way base 2.5 ms → first retransmit comfortably past one RTT).
+struct ReliabilityConfig {
+  bool enable = false;
+  sim::SimTime retransmit_delay = sim::from_millis(8);  ///< backoff base
+  std::size_t max_retries = 6;       ///< retransmits before giving up
+  sim::SimTime round_timeout = sim::from_millis(12);  ///< 0 = no watchdogs
+};
+
+/// What the link did, for reports and assertions (aggregated per run into
+/// SimRunResult::reliability_stats).
+struct ReliabilityStats {
+  std::uint64_t tracked = 0;                 ///< data sends under ack protection
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;           ///< incl. redundant re-acks
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;   ///< copies hidden from the blocks
+  std::uint64_t rerequests_sent = 0;         ///< round-watchdog re-requests
+  std::uint64_t rerequests_answered = 0;     ///< answered from the sent cache
+  std::uint64_t give_ups = 0;                ///< messages abandoned after max_retries
+
+  ReliabilityStats& operator+=(const ReliabilityStats& o) {
+    tracked += o.tracked;
+    acks_sent += o.acks_sent;
+    acks_received += o.acks_received;
+    retransmits += o.retransmits;
+    duplicates_suppressed += o.duplicates_suppressed;
+    rerequests_sent += o.rerequests_sent;
+    rerequests_answered += o.rerequests_answered;
+    give_ups += o.give_ups;
+    return *this;
+  }
+};
+
+class ReliableLink final : public blocks::Endpoint {
+ public:
+  /// Fired once per abandoned message, from timer context.
+  using GiveUpFn =
+      std::function<void(NodeId to, const net::Topic& topic, std::size_t attempts)>;
+
+  ReliableLink(blocks::Endpoint& base, ReliabilityConfig config);
+
+  // Endpoint: sends are tracked, everything else forwards to the base.
+  NodeId self() const override { return base_.self(); }
+  std::size_t num_providers() const override { return base_.num_providers(); }
+  crypto::Rng& rng() override { return base_.rng(); }
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override;
+  bool schedule_after(std::int64_t delay_ns, std::function<void()> fn) override {
+    return base_.schedule_after(delay_ns, std::move(fn));
+  }
+  std::int64_t round_timeout() const override { return config_.round_timeout; }
+
+  /// Inbound hook, called by the runtime before the engine sees a delivery.
+  /// Returns true iff `msg` should reach the application: control traffic
+  /// (acks, re-requests) and deduplicated copies are consumed here.
+  bool on_deliver(const net::Message& msg);
+
+  void set_on_give_up(GiveUpFn fn) { on_give_up_ = std::move(fn); }
+  const ReliabilityStats& stats() const { return stats_; }
+  const ReliabilityConfig& config() const { return config_; }
+
+ private:
+  /// Identity of one logical message: peer + round topic + payload digest.
+  /// (`node` is the receiver for pending sends, the sender for the dedup
+  /// set.) Distinct logical messages never collide — a round carries one
+  /// payload per (sender, topic) — while every retransmitted or duplicated
+  /// copy of the same message maps to the same key.
+  struct MsgKey {
+    NodeId node;
+    std::uint32_t topic;
+    crypto::Digest digest;
+    bool operator==(const MsgKey&) const = default;
+  };
+  struct MsgKeyHash {
+    std::size_t operator()(const MsgKey& k) const;
+  };
+  struct Pending {
+    NodeId to;
+    net::Topic topic;
+    SharedBytes payload;
+    std::size_t attempt = 0;
+  };
+
+  /// Arm the next retransmit timer for `key`; false iff the wrapped
+  /// endpoint has no timer facility.
+  bool schedule_retransmit(const MsgKey& key, std::size_t attempt);
+  void send_ack(const net::Message& msg);
+
+  blocks::Endpoint& base_;
+  ReliabilityConfig config_;
+  std::size_t m_;  ///< providers: the reliability domain (client traffic passes through)
+  net::Topic ack_topic_;
+  net::Topic rreq_topic_;
+
+  std::unordered_map<MsgKey, Pending, MsgKeyHash> unacked_;
+  std::unordered_set<MsgKey, MsgKeyHash> seen_;
+  /// Last payload sent per (peer, topic id) — the re-request answer source.
+  std::unordered_map<std::uint64_t, SharedBytes> sent_cache_;
+
+  GiveUpFn on_give_up_;
+  ReliabilityStats stats_;
+  /// Cleared the first time schedule_after() reports no timer facility
+  /// (endpoints of the thread/TCP runtimes): the link stops tracking sends
+  /// — retransmission is impossible, and pending entries nothing can retire
+  /// must not accumulate — while acks and dedup keep working.
+  bool timers_available_ = true;
+  /// Liveness token for timer callbacks: timers hold it weakly, so a due
+  /// timer outliving the link degrades to a no-op instead of a dangling call.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace dauct::net

@@ -22,6 +22,11 @@ class SimEndpoint final : public blocks::Endpoint {
     scheduler_.send(Message{self_, to, topic, std::move(payload)});
   }
 
+  bool schedule_after(std::int64_t delay_ns, std::function<void()> fn) override {
+    scheduler_.schedule_timer(scheduler_.now() + delay_ns, self_, std::move(fn));
+    return true;
+  }
+
   crypto::Rng& rng() override { return rng_; }
 
  private:

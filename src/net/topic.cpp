@@ -32,6 +32,14 @@ struct Registry {
     return {id, &strings.back()};
   }
 
+  std::pair<std::uint32_t, const std::string*> find(std::string_view s) {
+    std::lock_guard lock(mutex);
+    if (auto it = index.find(s); it != index.end()) {
+      return {it->second, &strings[it->second]};
+    }
+    return {0, nullptr};
+  }
+
   std::size_t size() {
     std::lock_guard lock(mutex);
     return strings.size();
@@ -60,6 +68,15 @@ Topic::Topic(std::string_view s) {
 
 Topic::Topic(const std::string& s) : Topic(std::string_view(s)) {}
 Topic::Topic(const char* s) : Topic(std::string_view(s)) {}
+
+std::optional<Topic> Topic::lookup(std::string_view s) {
+  const auto [id, str] = registry().find(s);
+  if (!str) return std::nullopt;
+  Topic t;
+  t.id_ = id;
+  t.str_ = str;
+  return t;
+}
 
 std::ostream& operator<<(std::ostream& os, const Topic& t) {
   return os << t.str();

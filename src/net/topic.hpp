@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,14 @@ class Topic {
   Topic(std::string_view s);       // NOLINT(google-explicit-constructor)
   Topic(const std::string& s);     // NOLINT(google-explicit-constructor)
   Topic(const char* s);            // NOLINT(google-explicit-constructor)
+
+  /// Find-only query: the Topic for `s` iff some block already interned it,
+  /// std::nullopt otherwise — never grows the registry. For strings arriving
+  /// from *untrusted peers* (the reliability layer's ack/re-request frames):
+  /// a name no local block ever registered cannot match local state, so it
+  /// is dropped instead of interned, keeping the append-only registry
+  /// bounded by protocol structure rather than by hostile traffic.
+  static std::optional<Topic> lookup(std::string_view s);
 
   std::uint32_t id() const { return id_; }
   const std::string& str() const { return *str_; }

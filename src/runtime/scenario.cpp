@@ -249,6 +249,31 @@ bool parse_crash_section(ParseCtx& ctx, const serde::IniSection& sec) {
   return true;
 }
 
+bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "enable") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.reliability.enable = *v;
+    } else if (kv.key == "retransmit_delay_ms") {
+      const auto v = to_time_ms(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);  // 0 would retransmit in a spin
+      ctx.sc.reliability.retransmit_delay = *v;
+    } else if (kv.key == "max_retries") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.reliability.max_retries = static_cast<std::size_t>(*v);
+    } else if (kv.key == "round_timeout_ms") {
+      const auto v = to_time_ms(kv.value);  // 0 = watchdogs off
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.reliability.round_timeout = *v;
+    } else {
+      return ctx.unknown_key("reliability", kv);
+    }
+  }
+  return true;
+}
+
 bool parse_deviation_section(ParseCtx& ctx, const serde::IniSection& sec) {
   DeviationSpec dev;
   for (const auto& kv : sec.entries) {
@@ -364,6 +389,7 @@ ScenarioParse parse_scenario(std::string_view text) {
     else if (sec.name == "cut") ok = parse_cut_section(ctx, sec);
     else if (sec.name == "partition") ok = parse_partition_section(ctx, sec);
     else if (sec.name == "crash") ok = parse_crash_section(ctx, sec);
+    else if (sec.name == "reliability") ok = parse_reliability_section(ctx, sec);
     else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
     else if (sec.name == "expect") ok = parse_expect_section(ctx, sec);
     else {
@@ -462,6 +488,7 @@ ScenarioRun run_scenario(const Scenario& scenario) {
   cfg.latency = latency_by_name(scenario.latency);
   cfg.cost_mode = sim::CostMode::kZero;  // the run is a pure function of the file
   cfg.faults = scenario.faults;
+  cfg.reliability = scenario.reliability;
   std::vector<NodeId> coalition;
   for (const auto& dev : scenario.deviations) coalition.push_back(dev.node);
   for (const auto& dev : scenario.deviations) {

@@ -5,6 +5,7 @@
 //
 //   [scenario] name/description   [run] auction/users/providers/k/seed/...
 //   [fault]    fault RNG seed     [link] [cut] [partition] [crash]  (repeat)
+//   [reliability] ack/retransmit layer knobs (net/reliable.hpp)
 //   [deviation] byzantine provider strategies (adversary/provider_deviation)
 //   [expect]   self-checking assertions (outcome, stall, matches_clean, ...)
 //
@@ -60,6 +61,7 @@ struct Scenario {
   std::string latency = "community"; ///< zero | lan | community
 
   sim::FaultPlan faults;
+  net::ReliabilityConfig reliability;  ///< [reliability]; disabled by default
   std::vector<DeviationSpec> deviations;
   ScenarioExpect expect;
 };

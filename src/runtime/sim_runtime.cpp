@@ -84,9 +84,16 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   scheduler.set_cpu_scale(config_.cpu_scale);
   if (config_.faults) scheduler.install_fault_plan(*config_.faults);
 
-  // Endpoints (with deviation wrappers for coalition members) and engines.
+  // Endpoints and engines. The per-provider chain, outermost (engine-facing)
+  // first: [DeviantEndpoint →] [ReliableLink →] SimEndpoint — deviation
+  // shapes what the engine sends *before* the link tracks it (a byzantine
+  // node runs its reliability layer on its tampered output), and the link is
+  // the last hop before the wire. With reliability off no link exists and
+  // the chain is byte-identical to the pre-reliability runtime.
   crypto::Rng seeder(config_.seed ^ 0xd15742u);
   std::vector<std::unique_ptr<net::SimEndpoint>> endpoints;
+  std::vector<std::unique_ptr<net::ReliableLink>> links;
+  std::vector<net::ReliableLink*> link_of(m, nullptr);
   std::vector<std::unique_ptr<adversary::DeviantEndpoint>> deviants;
   std::vector<std::unique_ptr<core::ProviderEngine>> engines;
   endpoints.reserve(m);
@@ -95,6 +102,11 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
     endpoints.push_back(
         std::make_unique<net::SimEndpoint>(scheduler, j, m, seeder.next_u64()));
     blocks::Endpoint* ep = endpoints.back().get();
+    if (config_.reliability.enable) {
+      links.push_back(std::make_unique<net::ReliableLink>(*ep, config_.reliability));
+      link_of[j] = links.back().get();
+      ep = links.back().get();
+    }
     if (auto it = config_.deviations.find(j); it != config_.deviations.end()) {
       deviants.push_back(
           std::make_unique<adversary::DeviantEndpoint>(*ep, it->second));
@@ -117,8 +129,38 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   std::size_t results_at_client = 0;
   sim::SimTime client_done_at = 0;
 
+  // Progress bookkeeping shared by the delivery path and the reliability
+  // give-up path (an engine can reach done() from a retransmit timer, with
+  // no delivery in flight to piggyback the result report on).
+  const auto note_progress = [&](NodeId j) {
+    core::ProviderEngine& engine = *engines[j];
+    if (ba_done[j] == 0 && engine.agreed_bids().has_value()) {
+      ba_done[j] = scheduler.now();
+    }
+    if (eng_done[j] == 0 && engine.done()) {
+      eng_done[j] = scheduler.now();
+    }
+    if (engine.done() && !reported[j]) {
+      reported[j] = true;
+      const auto& out = *engine.outcome();
+      serde::Writer w;
+      w.boolean(out.ok());
+      if (out.ok()) {
+        w.bytes(serde::encode_result(out.value()));
+      } else {
+        w.u8(static_cast<std::uint8_t>(out.bottom().reason));
+      }
+      scheduler.send(net::Message{j, client, result_topic, w.take()});
+    }
+  };
+
   for (NodeId j = 0; j < m; ++j) {
     scheduler.set_deliver(j, [&, j](const net::Message& msg) {
+      // The reliable link consumes its control traffic (acks, re-requests)
+      // and retransmitted duplicates before the engine can misread them.
+      if (net::ReliableLink* link = link_of[j]; link && !link->on_deliver(msg)) {
+        return;
+      }
       core::ProviderEngine& engine = *engines[j];
       if (msg.topic == bids_topic) {
         // Idempotent against a (faulty) network duplicating the client batch:
@@ -131,25 +173,19 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
       } else {
         engine.on_message(msg);
       }
-      if (ba_done[j] == 0 && engine.agreed_bids().has_value()) {
-        ba_done[j] = scheduler.now();
-      }
-      if (eng_done[j] == 0 && engine.done()) {
-        eng_done[j] = scheduler.now();
-      }
-      if (engine.done() && !reported[j]) {
-        reported[j] = true;
-        const auto& out = *engine.outcome();
-        serde::Writer w;
-        w.boolean(out.ok());
-        if (out.ok()) {
-          w.bytes(serde::encode_result(out.value()));
-        } else {
-          w.u8(static_cast<std::uint8_t>(out.bottom().reason));
-        }
-        scheduler.send(net::Message{j, client, result_topic, w.take()});
-      }
+      note_progress(j);
     });
+    if (net::ReliableLink* link = link_of[j]) {
+      link->set_on_give_up([&, j](NodeId to, const net::Topic& topic,
+                                  std::size_t attempts) {
+        engines[j]->abort(Bottom{
+            AbortReason::kDeliveryFailed,
+            "provider " + std::to_string(to) + " unreachable on '" +
+                topic.str() + "' after " + std::to_string(attempts) +
+                " attempts"});
+        note_progress(j);
+      });
+    }
   }
 
   scheduler.set_deliver(client, [&](const net::Message& msg) {
@@ -201,6 +237,7 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   result.makespan = results_at_client == m ? client_done_at : scheduler.now();
   result.traffic = scheduler.traffic();
   if (const auto* fs = scheduler.fault_stats()) result.fault_stats = *fs;
+  for (const auto& link : links) result.reliability_stats += link->stats();
   result.bid_agreement_done_at = std::move(ba_done);
   result.provider_done_at = std::move(eng_done);
   return result;

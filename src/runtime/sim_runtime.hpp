@@ -25,6 +25,7 @@
 #include "adversary/provider_deviation.hpp"
 #include "core/centralized_auctioneer.hpp"
 #include "core/distributed_auctioneer.hpp"
+#include "net/reliable.hpp"
 #include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 
@@ -46,6 +47,12 @@ struct SimRunConfig {
   /// bit-identical to unset.
   std::optional<sim::FaultPlan> faults;
 
+  /// Reliable-delivery layer (net/reliable.hpp): ack/retransmit + round
+  /// timeouts between each provider's protocol chain and the scheduler.
+  /// Disabled (the default) constructs no links at all — byte-identical to
+  /// the pre-reliability runtime, golden-pinned.
+  net::ReliabilityConfig reliability;
+
   /// Safety valve against runaway simulations.
   std::uint64_t max_events = 50'000'000;
 };
@@ -56,6 +63,7 @@ struct SimRunResult {
   sim::SimTime makespan = 0;       ///< client-observed end-to-end time
   sim::TrafficStats traffic;
   sim::FaultStats fault_stats;     ///< zeros unless a fault plan was installed
+  net::ReliabilityStats reliability_stats;  ///< summed over links; zeros when off
   bool stalled = false;  ///< some provider never finished (counts as ⊥)
   std::uint64_t shared_seed = 0;   ///< common-coin value (distributed runs)
 

@@ -98,4 +98,17 @@ bool FaultInjector::down_at(NodeId node, SimTime at, bool count) {
   return false;
 }
 
+SimTime FaultInjector::recovery_time(NodeId node, SimTime at) {
+  // Latest recovery among the windows covering `at`: overlapping windows are
+  // honoured (the node is up only once *every* covering window has closed);
+  // the scheduler re-checks down_at at the returned time anyway.
+  SimTime recover = kSimStart;
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.node == node && in_window(at, c.at, c.recover_at)) {
+      recover = std::max(recover, c.recover_at);
+    }
+  }
+  return recover;
+}
+
 }  // namespace dauct::sim

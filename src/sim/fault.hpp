@@ -126,6 +126,12 @@ class FaultInjector {
   /// query to crash_dropped (deliver-side bookkeeping).
   bool down_at(NodeId node, SimTime at, bool count);
 
+  /// Given that `node` is down at `at`: when it comes back up (kSimForever
+  /// for a crash-stop). The scheduler uses this to carry a crash-recover
+  /// node's timer wheel across the window — engine state survives recovery,
+  /// so pending timers do too; they fire (late) at the recovery instant.
+  SimTime recovery_time(NodeId node, SimTime at);
+
   const FaultStats& stats() const { return stats_; }
 
  private:

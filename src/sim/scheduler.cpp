@@ -87,6 +87,54 @@ void Scheduler::inject(SimTime at, net::Message msg) {
   route(at, lat, std::move(msg));
 }
 
+void Scheduler::schedule_timer(SimTime at, NodeId node, std::function<void()> fn) {
+  assert(node < num_nodes_);
+  queue_.schedule(at, [this, at, node, fn = std::move(fn)] { run_timer(at, node, fn); });
+}
+
+// One execution protocol for handlers and timers: what runs on a node
+// occupies its virtual clock and flushes its outbox when done. Kept in one
+// place so timer-context and message-context time accounting can never
+// drift apart (the golden fingerprints pin the result).
+template <typename Fn>
+void Scheduler::run_in_node_context(SimTime at, NodeId node, SimTime initial_charge,
+                                    Fn&& fn) {
+  const SimTime start = std::max(at, clocks_[node]);
+
+  in_handler_ = true;
+  current_node_ = node;
+  extra_charge_ = initial_charge;
+  const SimTime cpu_before = thread_cpu_now();
+  fn();
+  SimTime cost = extra_charge_;
+  if (cost_mode_ == CostMode::kMeasured) {
+    const SimTime measured = thread_cpu_now() - cpu_before;
+    cost += static_cast<SimTime>(std::llround(measured * cpu_scale_));
+  }
+  in_handler_ = false;
+  current_node_ = kNoNode;
+
+  clocks_[node] = start + cost;
+  flush_outbox(clocks_[node]);
+}
+
+// A timer is a handler without a message. A timer coming due while its node
+// is down is *deferred to the recovery instant*, not dropped — the simulator
+// keeps engine state across a crash-recover window, so the node's timer
+// wheel survives with it (in-flight *messages* of the window stay lost). A
+// crash-stop node never recovers: its due timers are discarded with it and
+// the queue drains.
+void Scheduler::run_timer(SimTime at, NodeId node, const std::function<void()>& fn) {
+  if (faults_ && faults_->down_at(node, at, /*count=*/false)) {
+    const SimTime recover = faults_->recovery_time(node, at);
+    if (recover != kSimForever) {
+      queue_.schedule(recover, [this, recover, node, fn] { run_timer(recover, node, fn); });
+    }
+    return;
+  }
+  run_in_node_context(at, node, /*initial_charge=*/0, fn);
+}
+
 void Scheduler::charge(SimTime cost) {
   assert(in_handler_ && "charge() must be called from inside a handler");
   extra_charge_ += cost;
@@ -105,7 +153,8 @@ void Scheduler::flush_outbox(SimTime depart) {
 void Scheduler::deliver(SimTime at, net::Message msg) {
   const NodeId node = msg.to;
   // A crashed receiver loses the delivery outright (no trace entry: the node
-  // never saw the message; there is no retransmission layer).
+  // never saw the message). Recovering a lost delivery is the reliability
+  // layer's job (net/reliable.hpp), when one is installed above this.
   if (faults_ && faults_->down_at(node, at, /*count=*/true)) return;
   if (trace_enabled_) {
     trace_.push_back(TraceEntry{at, msg.from, node, msg.topic, msg.wire_size()});
@@ -114,24 +163,9 @@ void Scheduler::deliver(SimTime at, net::Message msg) {
     DAUCT_DEBUG("scheduler: dropping message to handlerless node " << node);
     return;
   }
-  const SimTime start = std::max(at, clocks_[node]);
-
-  in_handler_ = true;
-  current_node_ = node;
   // Receive occupancy: the node spends virtual time ingesting the message.
-  extra_charge_ = latency_.recv_occupancy(msg.wire_size());
-  const SimTime cpu_before = thread_cpu_now();
-  handlers_[node](msg);
-  SimTime cost = extra_charge_;
-  if (cost_mode_ == CostMode::kMeasured) {
-    const SimTime measured = thread_cpu_now() - cpu_before;
-    cost += static_cast<SimTime>(std::llround(measured * cpu_scale_));
-  }
-  in_handler_ = false;
-  current_node_ = kNoNode;
-
-  clocks_[node] = start + cost;
-  flush_outbox(clocks_[node]);
+  run_in_node_context(at, node, latency_.recv_occupancy(msg.wire_size()),
+                      [&] { handlers_[node](msg); });
 }
 
 void Scheduler::run() {

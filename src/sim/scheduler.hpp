@@ -81,6 +81,19 @@ class Scheduler {
   /// (e.g. bidders submitting bids at t=0).
   void inject(SimTime at, net::Message msg);
 
+  /// Run `fn` at absolute virtual time `at` in `node`'s execution context:
+  /// sends made from the callback depart like handler sends (at the node's
+  /// clock after the callback), and the node's clock advances past `at`.
+  /// Timers belong to the node and share its crash fate: a timer coming due
+  /// while the node is down is discarded forever on a crash-stop, but
+  /// *deferred to the recovery instant* on a crash-recover — engine state
+  /// survives the window, so the node's timer wheel does too (in-flight
+  /// messages of the window stay lost). Used by the reliability layer
+  /// (net/reliable.hpp) for retransmit backoff and round watchdogs; nothing
+  /// schedules timers unless reliability is enabled, so the timer-free
+  /// event stream is untouched.
+  void schedule_timer(SimTime at, NodeId node, std::function<void()> fn);
+
   /// Charge extra virtual compute time to the node whose handler is running
   /// (explicit cost-model hook; combinable with measured costs).
   void charge(SimTime cost);
@@ -123,6 +136,12 @@ class Scheduler {
 
  private:
   void deliver(SimTime at, net::Message msg);
+  void run_timer(SimTime at, NodeId node, const std::function<void()>& fn);
+  /// Shared handler/timer execution protocol: run `fn` on `node` starting no
+  /// earlier than `at`, charge `initial_charge` plus (in kMeasured mode) the
+  /// callback's real CPU time to the node's clock, then flush its outbox.
+  template <typename Fn>
+  void run_in_node_context(SimTime at, NodeId node, SimTime initial_charge, Fn&& fn);
   void flush_outbox(SimTime depart);
   void route(SimTime depart, SimTime lat, net::Message msg);
 

@@ -40,7 +40,8 @@ constexpr const char* kKnownFlags[] = {
     "--auction",  "--users",   "--providers", "--seed",     "--bids",
     "--asks",     "--k",       "--epsilon",   "--mode",     "--centralized",
     "--runtime",  "--latency", "--trace",     "--scenario", "--csv",
-    "--help",
+    "--reliable", "--retransmit-delay-ms",    "--max-retries",
+    "--round-timeout-ms",      "--help",
 };
 
 TEST(Cli, HelpMentionsEveryParsedFlag) {
@@ -70,6 +71,37 @@ TEST(Cli, SmallDistributedRunSucceeds) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("distributed auctioneer"), std::string::npos);
   EXPECT_NE(r.output.find("totals:"), std::string::npos);
+}
+
+TEST(Cli, ReliableRunSucceedsAndPrintsCounters) {
+  const auto r = run_command(
+      "--auction double --users 8 --providers 3 --k 1 --latency zero --seed 3 "
+      "--reliable --retransmit-delay-ms 4 --max-retries 3 --round-timeout-ms 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("reliability:"), std::string::npos);
+  EXPECT_NE(r.output.find("retransmits"), std::string::npos);
+  EXPECT_NE(r.output.find("give-ups"), std::string::npos);
+}
+
+TEST(Cli, ZeroRetransmitDelayIsRejectedLikeTheScenarioParser) {
+  const auto r = run_command("--reliable --retransmit-delay-ms 0");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("must be > 0"), std::string::npos);
+  const auto neg = run_command("--reliable --round-timeout-ms -3");
+  EXPECT_EQ(neg.exit_code, 1);
+  EXPECT_NE(neg.output.find("must be >= 0"), std::string::npos);
+  const auto retr = run_command("--reliable --max-retries -1");
+  EXPECT_EQ(retr.exit_code, 1);
+  EXPECT_NE(retr.output.find("non-negative integer"), std::string::npos);
+}
+
+TEST(Cli, ReliableScenarioPrintsCountersNextToFaults) {
+  const auto r = run_command(std::string("--scenario ") + DAUCT_SCENARIO_DIR +
+                             "/dup_storm.scn");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("faults injected"), std::string::npos);
+  EXPECT_NE(r.output.find("duplicates suppressed"), std::string::npos);
+  EXPECT_NE(r.output.find("expectations: PASS"), std::string::npos);
 }
 
 TEST(Cli, ScenarioRunsAndSelfChecks) {

@@ -1,0 +1,494 @@
+// Reliable-delivery layer tests (net/reliable.hpp + the timer plumbing and
+// round watchdogs behind it).
+//
+// Four layers of guarantees:
+//  * equivalence — reliability disabled is byte-identical to the
+//    pre-reliability implementation (full golden fingerprints), and
+//    reliability enabled over a fault-free link reproduces every golden
+//    *result digest* (acks change traffic and timing, never the outcome);
+//  * link mechanics — ack loss is absorbed (retransmit of an already
+//    delivered message is dedup'd end-to-end and re-acked), retries
+//    exhausted reports a clean give-up, duplicates never reach the app;
+//  * timers — a crash-stop node's due timers are discarded with the node;
+//  * recovery — lossy and crash-recover runs complete with the fault-free
+//    result through retransmits and targeted re-requests.
+#include <gtest/gtest.h>
+
+#include "core/adapters.hpp"
+#include "crypto/sha256.hpp"
+#include "net/reliable.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "serde/auction_codec.hpp"
+#include "test_util.hpp"
+
+namespace dauct {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Link mechanics over a two-node scheduler
+// ---------------------------------------------------------------------------
+
+/// Two providers wired through ReliableLinks over a lan-latency scheduler.
+struct LinkNet {
+  sim::Scheduler scheduler;
+  net::SimEndpoint ep0, ep1;
+  net::ReliableLink link0, link1;
+  std::vector<net::Message> app0, app1;  ///< what survives past the links
+
+  explicit LinkNet(const net::ReliabilityConfig& cfg, std::uint64_t seed = 7)
+      : scheduler(2, sim::LatencyModel::lan(), seed, sim::CostMode::kZero),
+        ep0(scheduler, 0, 2, 100),
+        ep1(scheduler, 1, 2, 101),
+        link0(ep0, cfg),
+        link1(ep1, cfg) {
+    scheduler.set_deliver(0, [this](const net::Message& m) {
+      if (link0.on_deliver(m)) app0.push_back(m);
+    });
+    scheduler.set_deliver(1, [this](const net::Message& m) {
+      if (link1.on_deliver(m)) app1.push_back(m);
+    });
+  }
+};
+
+net::ReliabilityConfig fast_config() {
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  cfg.retransmit_delay = sim::from_millis(1);
+  cfg.max_retries = 5;
+  cfg.round_timeout = 0;  // watchdogs exercised separately
+  return cfg;
+}
+
+TEST(ReliableLink, AckLossRecoveredByRetransmitAndReAck) {
+  // Acks (1 → 0) are lost until 1.5 ms; the data direction is clean. The
+  // sender must retransmit, the receiver must suppress the duplicate AND
+  // re-ack it, and the pending entry must drain once the window lifts.
+  sim::FaultPlan plan;
+  sim::LinkFault rule;
+  rule.from = 1;
+  rule.to = 0;
+  rule.symmetric = false;
+  rule.drop = 1.0;
+  rule.active_until = sim::from_micros(1'500);
+  plan.links.push_back(rule);
+
+  LinkNet net(fast_config());
+  net.scheduler.install_fault_plan(plan);
+  net.link0.send(1, "t/data", SharedBytes(Bytes{1, 2, 3}));
+  net.scheduler.run();
+
+  ASSERT_EQ(net.app1.size(), 1u) << "dedup failed end-to-end";
+  EXPECT_EQ(net.app1[0].payload, (Bytes{1, 2, 3}));
+  EXPECT_GE(net.link0.stats().retransmits, 1u);
+  EXPECT_GE(net.link1.stats().duplicates_suppressed, 1u);
+  EXPECT_GE(net.link1.stats().acks_sent, 2u) << "duplicates must be re-acked";
+  EXPECT_GE(net.link0.stats().acks_received, 1u) << "pending entry never drained";
+  EXPECT_EQ(net.link0.stats().give_ups, 0u);
+}
+
+TEST(ReliableLink, RetriesExhaustedReportsCleanGiveUp) {
+  sim::FaultPlan plan;
+  sim::LinkFault rule;
+  rule.from = 0;
+  rule.to = 1;
+  rule.symmetric = false;
+  rule.drop = 1.0;  // the peer is unreachable, forever
+  plan.links.push_back(rule);
+
+  net::ReliabilityConfig cfg = fast_config();
+  cfg.max_retries = 2;
+  LinkNet net(cfg);
+  net.scheduler.install_fault_plan(plan);
+
+  NodeId gave_up_on = kNoNode;
+  std::string gave_up_topic;
+  std::size_t gave_up_attempts = 0;
+  int give_up_calls = 0;
+  net.link0.set_on_give_up(
+      [&](NodeId to, const net::Topic& topic, std::size_t attempts) {
+        ++give_up_calls;
+        gave_up_on = to;
+        gave_up_topic = topic.str();
+        gave_up_attempts = attempts;
+      });
+
+  net.link0.send(1, "t/data", SharedBytes(Bytes{9}));
+  net.scheduler.run();  // must drain: the retransmit chain is bounded
+
+  EXPECT_TRUE(net.app1.empty());
+  EXPECT_EQ(give_up_calls, 1);
+  EXPECT_EQ(gave_up_on, 1u);
+  EXPECT_EQ(gave_up_topic, "t/data");
+  EXPECT_EQ(gave_up_attempts, 3u);  // original + max_retries retransmits
+  EXPECT_EQ(net.link0.stats().retransmits, 2u);
+  EXPECT_EQ(net.link0.stats().give_ups, 1u);
+}
+
+TEST(ReliableLink, NetworkDuplicatesNeverReachTheApp) {
+  sim::FaultPlan plan;
+  sim::LinkFault rule;
+  rule.duplicate = 1.0;  // every message delivered twice, both directions
+  plan.links.push_back(rule);
+
+  LinkNet net(fast_config());
+  net.scheduler.install_fault_plan(plan);
+  net.link0.send(1, "t/data", SharedBytes(Bytes{5, 6}));
+  net.scheduler.run();
+
+  ASSERT_EQ(net.app1.size(), 1u);
+  EXPECT_GE(net.link1.stats().duplicates_suppressed, 1u);
+  // The duplicated ack is consumed harmlessly (second erase misses).
+  EXPECT_GE(net.link0.stats().acks_received, 2u);
+  EXPECT_EQ(net.link0.stats().give_ups, 0u);
+}
+
+TEST(ReliableLink, ReRequestAnsweredFromSentCache) {
+  LinkNet net(fast_config());
+  net.link0.send(1, "round/x", SharedBytes(Bytes{7, 7}));
+  net.scheduler.run();
+  ASSERT_EQ(net.app1.size(), 1u);
+
+  // Node 1 re-requests the round topic (what a round watchdog sends); node 0
+  // must answer from its last-sent cache and node 1 must dedup the copy.
+  const std::string topic = "round/x";
+  net.link1.send(0, net::kRetransmitRequestTopicName,
+                 SharedBytes(Bytes(topic.begin(), topic.end())));
+  net.scheduler.run();
+
+  EXPECT_EQ(net.app1.size(), 1u) << "re-sent copy leaked past dedup";
+  EXPECT_EQ(net.link0.stats().rerequests_answered, 1u);
+  EXPECT_EQ(net.link1.stats().rerequests_sent, 1u);
+  EXPECT_GE(net.link1.stats().duplicates_suppressed, 1u);
+}
+
+TEST(ReliableLink, UnknownControlTopicNamesAreDroppedWithoutInterning) {
+  // Ack/rreq frames carry peer-chosen topic strings; a name no local block
+  // ever interned must be dropped via the find-only lookup, never interned —
+  // the append-only registry stays bounded by protocol structure.
+  LinkNet net(fast_config());
+  const std::size_t before = net::topic_registry_size();
+
+  const std::string garbage = "hostile/unseen-topic-87c1";
+  net::Message rreq{0, 1, net::kRetransmitRequestTopicName,
+                    SharedBytes(Bytes(garbage.begin(), garbage.end()))};
+  EXPECT_FALSE(net.link1.on_deliver(rreq));
+
+  Bytes ack_payload(garbage.begin(), garbage.end());
+  ack_payload.resize(garbage.size() + 32, 0);  // + a 32-byte "digest"
+  net::Message ack{0, 1, net::kAckTopicName, SharedBytes(std::move(ack_payload))};
+  EXPECT_FALSE(net.link1.on_deliver(ack));
+
+  EXPECT_EQ(net::topic_registry_size(), before)
+      << "a forged control frame grew the topic registry";
+  EXPECT_EQ(net.link1.stats().rerequests_answered, 0u);
+  EXPECT_EQ(net.link1.stats().acks_received, 0u);
+}
+
+/// Endpoint without a timer facility (inherits the default schedule_after).
+class TimerlessEndpoint final : public blocks::Endpoint {
+ public:
+  explicit TimerlessEndpoint(std::size_t m) : m_(m), rng_(1) {}
+  NodeId self() const override { return 0; }
+  std::size_t num_providers() const override { return m_; }
+  crypto::Rng& rng() override { return rng_; }
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
+    sent.push_back(net::Message{0, to, topic, std::move(payload)});
+  }
+  std::vector<net::Message> sent;
+
+ private:
+  std::size_t m_;
+  crypto::Rng rng_;
+};
+
+TEST(ReliableLink, DegradesToFireAndForgetOverATimerlessEndpoint) {
+  // Over an endpoint that cannot schedule timers (thread/TCP runtimes) the
+  // link must not accumulate pending entries nothing can ever retire: sends
+  // pass through untracked, acks and dedup still function.
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  TimerlessEndpoint ep(2);
+  net::ReliableLink link(ep, cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    link.send(1, "t/data", SharedBytes(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  EXPECT_EQ(ep.sent.size(), 3u) << "sends must still reach the wire";
+  EXPECT_EQ(link.stats().tracked, 0u) << "untracked: nothing could retransmit";
+
+  // Inbound data is still acked and deduplicated.
+  const net::Message data{1, 0, "t/data", SharedBytes(Bytes{9})};
+  EXPECT_TRUE(link.on_deliver(data));
+  EXPECT_FALSE(link.on_deliver(data));
+  EXPECT_EQ(link.stats().acks_sent, 2u);
+  EXPECT_EQ(link.stats().duplicates_suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Timer semantics
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTimer, DueTimersOfACrashStopNodeAreDiscarded) {
+  sim::Scheduler scheduler(2, sim::LatencyModel::zero(), 1, sim::CostMode::kZero);
+  sim::FaultPlan plan;
+  plan.crashes.push_back(sim::CrashEvent{0, sim::from_millis(1)});  // crash-stop
+  scheduler.install_fault_plan(plan);
+
+  bool fired_on_crashed = false;
+  bool fired_on_healthy = false;
+  scheduler.schedule_timer(sim::from_millis(2), 0,
+                           [&] { fired_on_crashed = true; });
+  scheduler.schedule_timer(sim::from_millis(2), 1,
+                           [&] { fired_on_healthy = true; });
+  scheduler.run();
+
+  EXPECT_FALSE(fired_on_crashed) << "a crash-stop node fired a timer";
+  EXPECT_TRUE(fired_on_healthy);
+}
+
+TEST(SchedulerTimer, TimerBeforeCrashWindowStillFires) {
+  sim::Scheduler scheduler(1, sim::LatencyModel::zero(), 1, sim::CostMode::kZero);
+  sim::FaultPlan plan;
+  plan.crashes.push_back(sim::CrashEvent{0, sim::from_millis(5)});
+  scheduler.install_fault_plan(plan);
+
+  bool fired = false;
+  scheduler.schedule_timer(sim::from_millis(2), 0, [&] { fired = true; });
+  scheduler.run();
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// Round watchdog (RoundCollector::arm)
+// ---------------------------------------------------------------------------
+
+/// Endpoint with a hand-cranked timer wheel: callbacks are stored and fired
+/// by the test, sends are recorded.
+class ManualTimerEndpoint final : public blocks::Endpoint {
+ public:
+  ManualTimerEndpoint(std::size_t m, std::int64_t timeout)
+      : m_(m), timeout_(timeout), rng_(1) {}
+
+  NodeId self() const override { return 0; }
+  std::size_t num_providers() const override { return m_; }
+  crypto::Rng& rng() override { return rng_; }
+  std::int64_t round_timeout() const override { return timeout_; }
+  bool schedule_after(std::int64_t, std::function<void()> fn) override {
+    timers.push_back(std::move(fn));
+    return true;
+  }
+  void send(NodeId to, const net::Topic& topic, SharedBytes payload) override {
+    sent.push_back(net::Message{0, to, topic, std::move(payload)});
+  }
+
+  std::vector<std::function<void()>> timers;
+  std::vector<net::Message> sent;
+
+ private:
+  std::size_t m_;
+  std::int64_t timeout_;
+  crypto::Rng rng_;
+};
+
+TEST(RoundWatch, ReRequestsExactlyTheMissingContributions) {
+  ManualTimerEndpoint ep(4, /*timeout=*/1000);
+  blocks::RoundCollector round(4);
+  ASSERT_TRUE(round.add(2, SharedBytes(Bytes{1})));
+
+  const net::Topic topic("ba/vb/v");
+  round.arm(ep, topic);
+  ASSERT_EQ(ep.timers.size(), 1u);
+  ep.timers[0]();  // the watchdog comes due
+
+  ASSERT_EQ(ep.sent.size(), 3u);  // 0, 1, 3 — not 2
+  std::vector<NodeId> targets;
+  for (const auto& m : ep.sent) {
+    EXPECT_EQ(m.topic, net::Topic(net::kRetransmitRequestTopicName));
+    EXPECT_EQ(m.payload, Bytes(topic.str().begin(), topic.str().end()));
+    targets.push_back(m.to);
+  }
+  EXPECT_EQ(targets, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(ep.timers.size(), 2u) << "watchdog did not re-arm";
+}
+
+TEST(RoundWatch, CompletionAndCancelDisarm) {
+  ManualTimerEndpoint ep(3, 1000);
+  const net::Topic topic("coin/commit");
+  {
+    blocks::RoundCollector round(3);
+    round.arm(ep, topic);
+    for (NodeId j = 0; j < 3; ++j) {
+      round.add(j, SharedBytes(Bytes{static_cast<std::uint8_t>(j)}));
+    }
+    ASSERT_TRUE(round.complete());
+    ep.timers[0]();  // due after completion: must do nothing
+    EXPECT_TRUE(ep.sent.empty());
+    EXPECT_EQ(ep.timers.size(), 1u);
+  }
+  {
+    blocks::RoundCollector round(3);
+    round.arm(ep, topic);
+    round.cancel();
+    ep.timers[1]();  // due after cancel: must do nothing
+    EXPECT_TRUE(ep.sent.empty());
+  }
+  {
+    // Zero timeout (reliability off): arm is a no-op, no timer scheduled.
+    ManualTimerEndpoint off(3, 0);
+    blocks::RoundCollector round(3);
+    round.arm(off, topic);
+    EXPECT_TRUE(off.timers.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence and recovery
+// ---------------------------------------------------------------------------
+
+runtime::SimRunResult run_golden(const testutil::GoldenRun& g,
+                                 std::optional<sim::FaultPlan> faults,
+                                 net::ReliabilityConfig reliability) {
+  core::AuctioneerSpec spec;
+  spec.m = g.m;
+  spec.k = g.k;
+  spec.num_bidders = g.n;
+  std::shared_ptr<core::AuctionAdapter> adapter;
+  if (g.standard) {
+    auction::StandardAuctionParams p;
+    p.epsilon = 0.25;
+    adapter = std::make_shared<core::StandardAuctionAdapter>(p);
+  } else {
+    adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  }
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+  runtime::SimRunConfig cfg;
+  cfg.seed = g.seed;
+  cfg.faults = std::move(faults);
+  cfg.reliability = reliability;
+  return runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+}
+
+std::string digest_of(const runtime::SimRunResult& run) {
+  const Bytes enc = serde::encode_result(run.global_outcome.value());
+  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+TEST(ReliableEquivalence, DisabledConfigIsByteIdenticalOverAllGoldens) {
+  // "Zero-config reliability ≡ no reliability": a default-constructed
+  // ReliabilityConfig in the run config must reproduce the *full* golden
+  // fingerprint — outcome bytes, virtual makespan, traffic counters.
+  for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
+    SCOPED_TRACE("n=" + std::to_string(g.n) + " m=" + std::to_string(g.m) +
+                 " seed=" + std::to_string(g.seed));
+    const auto run = run_golden(g, std::nullopt, net::ReliabilityConfig{});
+    ASSERT_TRUE(run.global_outcome.ok());
+    EXPECT_EQ(digest_of(run), g.result_sha256);
+    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
+    EXPECT_EQ(run.traffic.messages, g.messages);
+    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    EXPECT_EQ(run.reliability_stats.tracked, 0u);
+    EXPECT_EQ(run.reliability_stats.acks_sent, 0u);
+  }
+}
+
+TEST(ReliableEquivalence, EnabledOverFaultFreeLinkPinsEveryGoldenDigest) {
+  // Reliability on, no faults: acks and timers reshape traffic and timing,
+  // but the decided (x, p⃗) must equal the golden result digest exactly.
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
+    SCOPED_TRACE("n=" + std::to_string(g.n) + " m=" + std::to_string(g.m) +
+                 " seed=" + std::to_string(g.seed));
+    const auto run = run_golden(g, std::nullopt, cfg);
+    ASSERT_TRUE(run.global_outcome.ok());
+    EXPECT_EQ(digest_of(run), g.result_sha256);
+    EXPECT_FALSE(run.stalled);
+    EXPECT_GT(run.reliability_stats.tracked, 0u);
+    EXPECT_GT(run.traffic.messages, g.messages) << "acks should add traffic";
+    EXPECT_EQ(run.reliability_stats.give_ups, 0u);
+    EXPECT_EQ(run.reliability_stats.duplicates_suppressed,
+              run.reliability_stats.retransmits)
+        << "on a fault-free link every retransmit (if any) is spurious";
+  }
+}
+
+TEST(ReliableRecovery, LossyRunCompletesWithTheFaultFreeResult) {
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  sim::FaultPlan plan;
+  plan.seed = 999;
+  sim::LinkFault rule;
+  rule.drop = 0.05;
+  rule.active_from = sim::from_micros(200);
+  plan.links.push_back(rule);
+
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  const auto run = run_golden(g, plan, cfg);
+
+  ASSERT_TRUE(run.global_outcome.ok())
+      << "⊥ (" << abort_reason_name(run.global_outcome.bottom().reason) << ")";
+  EXPECT_FALSE(run.stalled);
+  EXPECT_EQ(digest_of(run), g.result_sha256);
+  EXPECT_GT(run.fault_stats.link_dropped, 0u);
+  EXPECT_GT(run.reliability_stats.retransmits, 0u);
+  EXPECT_EQ(run.reliability_stats.give_ups, 0u);
+}
+
+TEST(ReliableRecovery, CrashRecoverMidRoundIsRecovered) {
+  // Node 1 is down for [8 ms, 20 ms) — mid bid-agreement. Recovery needs
+  // all three mechanisms: peers' sender-side retransmits (for what it
+  // missed), its own timer wheel deferred to the recovery instant (for its
+  // crash-dropped self-deliveries — e.g. its own echo), and the round
+  // watchdogs' re-requests. Without reliability this exact plan stalls to
+  // ⊥ (ScenarioCrash.CrashMidRoundStallsToBottom).
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  sim::FaultPlan plan;
+  plan.crashes.push_back(
+      sim::CrashEvent{1, sim::from_millis(8), sim::from_millis(20)});
+
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  const auto run = run_golden(g, plan, cfg);
+
+  ASSERT_TRUE(run.global_outcome.ok())
+      << "⊥ (" << abort_reason_name(run.global_outcome.bottom().reason) << ")";
+  EXPECT_FALSE(run.stalled);
+  EXPECT_EQ(digest_of(run), g.result_sha256);
+  EXPECT_GT(run.fault_stats.crash_dropped, 0u);
+}
+
+TEST(ReliableRecovery, UnreachablePeerTerminatesWithDeliveryFailed) {
+  // Provider 2's inbound direction is dead forever: nobody can reach it, so
+  // senders exhaust their retries and abort with the distinct reason instead
+  // of hanging until the event budget.
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  sim::FaultPlan plan;
+  sim::LinkFault rule;
+  rule.to = 2;
+  rule.symmetric = false;
+  rule.drop = 1.0;
+  plan.links.push_back(rule);
+
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  cfg.max_retries = 2;
+  const auto run = run_golden(g, plan, cfg);
+
+  ASSERT_FALSE(run.global_outcome.ok());
+  EXPECT_GT(run.reliability_stats.give_ups, 0u);
+  bool saw_delivery_failed = false;
+  for (const auto& o : run.provider_outcomes) {
+    if (o.is_bottom() && o.bottom().reason == AbortReason::kDeliveryFailed) {
+      saw_delivery_failed = true;
+    }
+  }
+  EXPECT_TRUE(saw_delivery_failed);
+  // The run terminates on its own (bounded retransmit chains drain the
+  // queue) — nowhere near the 50M event budget.
+  EXPECT_LT(run.traffic.messages, 100'000u);
+}
+
+}  // namespace
+}  // namespace dauct

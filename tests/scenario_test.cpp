@@ -189,6 +189,38 @@ TEST(ScenarioParse, StrictnessRejectsTypos) {
                    .ok());
 }
 
+TEST(ScenarioParse, ReliabilitySectionRoundTrip) {
+  const auto p = runtime::parse_scenario(
+      "[run]\nproviders = 5\nk = 1\n"
+      "[reliability]\nenable = true\nretransmit_delay_ms = 2.5\n"
+      "max_retries = 4\nround_timeout_ms = 9\n");
+  ASSERT_TRUE(p.ok()) << p.error;
+  const net::ReliabilityConfig& r = p.scenario->reliability;
+  EXPECT_TRUE(r.enable);
+  EXPECT_EQ(r.retransmit_delay, sim::from_micros(2500));
+  EXPECT_EQ(r.max_retries, 4u);
+  EXPECT_EQ(r.round_timeout, sim::from_millis(9));
+  // Defaults when the section is absent: disabled.
+  const auto q = runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q.scenario->reliability.enable);
+}
+
+TEST(ScenarioParse, ReliabilityStrictness) {
+  // Unknown key.
+  EXPECT_FALSE(runtime::parse_scenario("[reliability]\nretries = 3\n").ok());
+  // Malformed bool.
+  EXPECT_FALSE(runtime::parse_scenario("[reliability]\nenable = maybe\n").ok());
+  // A zero retransmit delay would respin the timer wheel; rejected.
+  EXPECT_FALSE(
+      runtime::parse_scenario("[reliability]\nretransmit_delay_ms = 0\n").ok());
+  // round_timeout_ms = 0 is the documented "watchdogs off" value.
+  EXPECT_TRUE(
+      runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n"
+                              "[reliability]\nround_timeout_ms = 0\n")
+          .ok());
+}
+
 TEST(ScenarioParse, AbsurdTimesClampToForever) {
   const auto p = runtime::parse_scenario(
       "[run]\nproviders = 5\nk = 1\n"
@@ -395,7 +427,7 @@ std::vector<std::filesystem::path> scenario_files() {
 
 TEST(ScenarioLibrary, EveryShippedScenarioParsesRunsAndSelfChecks) {
   const auto files = scenario_files();
-  ASSERT_GE(files.size(), 6u) << "the scenario library shrank below spec";
+  ASSERT_GE(files.size(), 12u) << "the scenario library shrank below spec";
   std::vector<std::string> names;
   for (const auto& path : files) {
     SCOPED_TRACE(path.filename().string());
@@ -432,6 +464,57 @@ TEST(ScenarioLibrary, CleanScenarioReproducesTheGoldenFingerprint) {
   EXPECT_EQ(run.run.makespan, static_cast<sim::SimTime>(g.makespan));
   EXPECT_EQ(run.run.traffic.messages, g.messages);
   EXPECT_EQ(run.run.traffic.bytes, g.bytes);
+}
+
+TEST(ScenarioLibrary, LossyLanCompletesUnderReliabilityWithAPinnedDigest) {
+  // The flipped flagship: 2% loss, n=64 m=9, reliability on. The run must
+  // complete with exactly the fault-free result; the digest is pinned so a
+  // reliability-layer regression that still "completes" (with the wrong
+  // bytes, or by luckily dodging the faults) cannot slip through.
+  const auto text = testutil::slurp_file(
+      std::filesystem::path(DAUCT_SCENARIO_DIR) / "lossy_lan.scn");
+  ASSERT_TRUE(text.has_value());
+  const auto parsed = runtime::parse_scenario(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(parsed.scenario->reliability.enable);
+  const auto run = runtime::run_scenario(*parsed.scenario);
+  EXPECT_TRUE(run.ok());
+  EXPECT_EQ(run.result_digest,
+            "a5923131da9c9439f5a51150baf49aa4d099bb5e85a57f1ec85b8d44c3f8856f");
+  EXPECT_EQ(run.result_digest, run.clean_digest);
+  EXPECT_GT(run.run.fault_stats.link_dropped, 0u);
+  EXPECT_GT(run.run.reliability_stats.retransmits, 0u);
+  EXPECT_EQ(run.run.reliability_stats.give_ups, 0u);
+}
+
+TEST(ScenarioLibrary, DupStormPairPinsTheMigration) {
+  // The same 15%-duplication fault plan, twice: reliability off must keep
+  // the historical equivocation-⊥ reading (dup_storm_legacy), reliability on
+  // must dedup below the collectors and complete (dup_storm).
+  const auto read = [&](const char* name) {
+    const auto text =
+        testutil::slurp_file(std::filesystem::path(DAUCT_SCENARIO_DIR) / name);
+    EXPECT_TRUE(text.has_value());
+    const auto parsed = runtime::parse_scenario(*text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed.scenario;
+  };
+  const runtime::Scenario legacy = read("dup_storm_legacy.scn");
+  const runtime::Scenario migrated = read("dup_storm.scn");
+  ASSERT_FALSE(legacy.reliability.enable);
+  ASSERT_TRUE(migrated.reliability.enable);
+  ASSERT_EQ(legacy.seed, migrated.seed);
+  ASSERT_EQ(legacy.faults.seed, migrated.faults.seed);
+
+  const auto off = runtime::run_scenario(legacy);
+  EXPECT_TRUE(off.ok());
+  EXPECT_FALSE(off.run.global_outcome.ok());
+
+  const auto on = runtime::run_scenario(migrated);
+  EXPECT_TRUE(on.ok());
+  ASSERT_TRUE(on.run.global_outcome.ok());
+  EXPECT_EQ(on.result_digest, on.clean_digest);
+  EXPECT_GT(on.run.reliability_stats.duplicates_suppressed, 0u);
 }
 
 }  // namespace

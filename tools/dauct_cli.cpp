@@ -46,6 +46,7 @@ struct Options {
   bool csv_output = false;
   bool trace = false;
   bool help = false;
+  net::ReliabilityConfig reliability;  // --reliable and friends (sim runtime)
 };
 
 void print_usage() {
@@ -69,6 +70,13 @@ execution:
   --runtime sim|thread|tcp    runtime (default sim: virtual-time simulation)
   --latency zero|lan|community  sim network model (default community)
   --trace                     print the sim message trace (first 60 entries)
+
+reliability (sim runtime; ack/retransmit layer, see docs/RELIABILITY.md):
+  --reliable                  enable the reliable-delivery layer
+  --retransmit-delay-ms D     backoff base before the first retransmit (default 8)
+  --max-retries N             retransmits before giving up on a peer (default 6)
+  --round-timeout-ms D        round liveness watchdog period; 0 disables
+                              (default 12)
 
 scenario (deterministic fault injection; see docs/SCENARIOS.md):
   --scenario FILE.scn         run a declarative scenario (link faults, cuts,
@@ -137,6 +145,33 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--scenario") {
       if (!(v = need_value(i))) return false;
       opt.scenario_file = v;
+    } else if (arg == "--reliable") {
+      opt.reliability.enable = true;
+    } else if (arg == "--retransmit-delay-ms") {
+      if (!(v = need_value(i))) return false;
+      const double ms = std::strtod(v, nullptr);
+      if (!(ms > 0)) {  // 0 would burn every retry at the send instant
+        std::fprintf(stderr, "--retransmit-delay-ms must be > 0 (got %s)\n", v);
+        return false;
+      }
+      opt.reliability.retransmit_delay = static_cast<sim::SimTime>(ms * 1e6);
+    } else if (arg == "--max-retries") {
+      if (!(v = need_value(i))) return false;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (*v == '\0' || *v == '-' || end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "--max-retries must be a non-negative integer (got %s)\n", v);
+        return false;
+      }
+      opt.reliability.max_retries = n;
+    } else if (arg == "--round-timeout-ms") {
+      if (!(v = need_value(i))) return false;
+      const double ms = std::strtod(v, nullptr);
+      if (ms < 0) {  // 0 is the documented "watchdogs off" value
+        std::fprintf(stderr, "--round-timeout-ms must be >= 0 (got %s)\n", v);
+        return false;
+      }
+      opt.reliability.round_timeout = static_cast<sim::SimTime>(ms * 1e6);
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
       return false;
@@ -225,6 +260,20 @@ int run_scenario_file(const std::string& path) {
               static_cast<unsigned long long>(fs.crash_dropped),
               static_cast<unsigned long long>(fs.duplicated),
               static_cast<unsigned long long>(fs.delayed));
+  if (sc.reliability.enable) {
+    const auto& rs = r.reliability_stats;
+    std::printf("reliability: %llu tracked, %llu retransmits, %llu acks sent, "
+                "%llu acks received, %llu duplicates suppressed, "
+                "%llu re-requests (%llu answered), %llu give-ups\n",
+                static_cast<unsigned long long>(rs.tracked),
+                static_cast<unsigned long long>(rs.retransmits),
+                static_cast<unsigned long long>(rs.acks_sent),
+                static_cast<unsigned long long>(rs.acks_received),
+                static_cast<unsigned long long>(rs.duplicates_suppressed),
+                static_cast<unsigned long long>(rs.rerequests_sent),
+                static_cast<unsigned long long>(rs.rerequests_answered),
+                static_cast<unsigned long long>(rs.give_ups));
+  }
   if (run.clean) {
     std::printf("fault-free twin: %s\n",
                 run.clean->global_outcome.ok()
@@ -335,6 +384,7 @@ int main(int argc, char** argv) {
     runtime::SimRunConfig cfg;
     cfg.seed = opt.seed;
     cfg.cost_mode = sim::CostMode::kMeasured;
+    cfg.reliability = opt.reliability;
     if (opt.latency == "zero") {
       cfg.latency = sim::LatencyModel::zero();
     } else if (opt.latency == "lan") {
@@ -347,6 +397,14 @@ int main(int argc, char** argv) {
     timing = sim::format_time(run.makespan) + " virtual, " +
              std::to_string(run.traffic.messages) + " msgs, " +
              std::to_string(run.traffic.bytes) + " bytes";
+    if (opt.reliability.enable) {
+      const auto& rs = run.reliability_stats;
+      timing += "; reliability: " + std::to_string(rs.tracked) + " tracked, " +
+                std::to_string(rs.retransmits) + " retransmits, " +
+                std::to_string(rs.acks_sent) + " acks, " +
+                std::to_string(rs.duplicates_suppressed) + " dups suppressed, " +
+                std::to_string(rs.give_ups) + " give-ups";
+    }
     if (opt.trace) {
       std::printf("# trace not recorded via CLI runtime API; phase times:\n");
       std::printf("#   bid agreement done: %s; providers done: %s\n",
