@@ -33,8 +33,10 @@
 #include "core/adapters.hpp"
 #include "core/centralized_auctioneer.hpp"
 #include "core/distributed_auctioneer.hpp"
+#include "crypto/ed25519.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
+#include "net/auth.hpp"
 #include "net/message.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "serde/auction_codec.hpp"
@@ -461,6 +463,123 @@ void BM_e2e_reliable_lossy(State& state) {
   }
 }
 TINYBENCH(BM_e2e_reliable_lossy)->Args({48, 4})->Args({128, 8});
+
+// Signing-layer points (net/auth.hpp + crypto/ed25519.hpp). The per-message
+// cost is one ed25519 sign at the sender and one verify at each receiver,
+// both over the 32-byte transcript digest — payload size only enters through
+// the SHA-256 transcript hash, so the sweep below fixes the payload and
+// varies the batch width m instead. BM_auth_verify_single vs
+// BM_auth_verify_batch is the number the validator's batch mode exists for:
+// small-exponent batch verification amortizes the doubling ladder across a
+// round's m signatures, and the ratio at m = {4, 8, 16} is the round-latency
+// saving batch mode buys over eager per-frame verification.
+void BM_auth_sign_verify(State& state) {
+  const net::KeyDirectory keys(4, 42);
+  Bytes payload(256, 0x5a);
+  std::uint32_t n = 0;
+  for (auto _ : state) {
+    payload[0] = static_cast<std::uint8_t>(++n);  // fresh transcript each op
+    const crypto::Digest t =
+        net::auth_transcript(1, "ba/vb/v", BytesView(payload));
+    const auto sig = crypto::ed25519::sign(keys.pair(1), BytesView(t));
+    DoNotOptimize(crypto::ed25519::verify(keys.public_key(1), BytesView(t), sig));
+  }
+}
+TINYBENCH(BM_auth_sign_verify);
+
+/// One provider round's worth of signed transcripts: m distinct senders,
+/// each signing its own transcript with its own key (the shape flush_batch
+/// sees — `m` is state.range(0) at the call sites below).
+struct SignedRound {
+  const net::KeyDirectory keys;
+  std::vector<crypto::Digest> transcripts;
+  std::vector<crypto::ed25519::Signature> sigs;
+
+  explicit SignedRound(std::size_t m) : keys(m, 42) {
+    for (std::size_t s = 0; s < m; ++s) {
+      Bytes payload(256, static_cast<std::uint8_t>(s));
+      transcripts.push_back(net::auth_transcript(static_cast<NodeId>(s),
+                                                 "ba/vb/v", BytesView(payload)));
+      sigs.push_back(
+          crypto::ed25519::sign(keys.pair(static_cast<NodeId>(s)),
+                                BytesView(transcripts.back())));
+    }
+  }
+};
+
+void BM_auth_verify_single(State& state) {
+  const SignedRound round(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = true;
+    for (std::size_t s = 0; s < round.sigs.size(); ++s) {
+      ok = ok && crypto::ed25519::verify(
+                     round.keys.public_key(static_cast<NodeId>(s)),
+                     BytesView(round.transcripts[s]), round.sigs[s]);
+    }
+    DoNotOptimize(ok);
+  }
+}
+TINYBENCH(BM_auth_verify_single)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_auth_verify_batch(State& state) {
+  const SignedRound round(static_cast<std::size_t>(state.range(0)));
+  std::vector<crypto::ed25519::BatchItem> items;
+  for (std::size_t s = 0; s < round.sigs.size(); ++s) {
+    items.push_back({&round.keys.public_key(static_cast<NodeId>(s)),
+                     BytesView(round.transcripts[s]), &round.sigs[s]});
+  }
+  crypto::Rng rng(99);
+  for (auto _ : state) {
+    DoNotOptimize(crypto::ed25519::verify_batch(items, rng));
+  }
+}
+TINYBENCH(BM_auth_verify_batch)->Arg(4)->Arg(8)->Arg(16);
+
+// Auth end-to-end sweeps: the same fault-free runs as BM_e2e_sim_distributed
+// with the signing layer on. Its cost when *disabled* is pinned by that base
+// point staying flat (auth off constructs nothing). _eager verifies every
+// frame on delivery; _batch holds a round's signatures and flushes them
+// through verify_batch — the e2e realization of the micro ratio above.
+void BM_e2e_auth_eager(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.auth.enable = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_auth_eager)->Args({48, 4})->Args({128, 8});
+
+void BM_e2e_auth_batch(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.auth.enable = true;
+    cfg.auth.batch_verify = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_auth_batch)->Args({48, 4})->Args({128, 8});
 
 // Solver-inclusive end-to-end point (the PR 2 trajectory number): the
 // ε-approximate standard auction through the full distributed protocol.

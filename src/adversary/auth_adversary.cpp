@@ -1,0 +1,43 @@
+#include "adversary/auth_adversary.hpp"
+
+#include "net/auth.hpp"
+
+namespace dauct::adversary {
+
+void AuthTamperEndpoint::send(NodeId to, const net::Topic& topic,
+                              SharedBytes payload) {
+  const bool attackable = to < num_providers() &&
+                          payload.size() >= net::kAuthHeaderBytes &&
+                          payload[0] == net::kAuthMagic;
+  if (!attackable || mode_ == AuthTamperMode::kNone) {
+    inner_.send(to, topic, std::move(payload));
+    return;
+  }
+
+  if (mode_ == AuthTamperMode::kReplay) {
+    if (last_sent_.size() <= to) last_sent_.resize(to + 1);
+    Remembered& prev = last_sent_[to];
+    if (!prev.payload.empty()) {
+      // Re-inject the previous frame verbatim: same bytes, same (sender,
+      // topic) slot — the validator must recognize it and swallow it.
+      inner_.send(to, prev.topic, prev.payload);
+    }
+    prev = Remembered{topic, payload};
+    inner_.send(to, topic, std::move(payload));
+    return;
+  }
+
+  // kForge: the real frame, then a companion whose payload byte is flipped
+  // under the untouched signature. The wire adversary cannot re-sign, so
+  // this is the strongest frame it can build from observed traffic.
+  inner_.send(to, topic, payload);
+  Bytes forged = payload.to_bytes();
+  if (forged.size() > net::kAuthHeaderBytes) {
+    forged[net::kAuthHeaderBytes] ^= 0x5a;  // first payload byte
+  } else {
+    forged[1] ^= 0x5a;  // empty payload: corrupt the signature instead
+  }
+  inner_.send(to, topic, SharedBytes(std::move(forged)));
+}
+
+}  // namespace dauct::adversary

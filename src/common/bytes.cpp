@@ -71,6 +71,17 @@ SharedBytes SharedBytes::copy(BytesView v) {
   return SharedBytes(Bytes(v.begin(), v.end()));
 }
 
+SharedBytes SharedBytes::suffix(std::size_t offset) const {
+  SharedBytes out;
+  if (!rep_ || offset >= rep_->view.size()) return out;  // empty, rep-less
+  if (offset == 0) return *this;  // same bytes, same digest: share the rep
+  // Chain through to the root so a suffix-of-a-suffix pins one allocation,
+  // not a linked list of intermediate reps.
+  const std::shared_ptr<const Rep>& root = rep_->parent ? rep_->parent : rep_;
+  out.rep_ = std::make_shared<const Rep>(root, rep_->view.subspan(offset));
+  return out;
+}
+
 const std::array<std::uint8_t, 32>& SharedBytes::shared_digest(DigestFn fn) const {
   if (!rep_) {
     // Empty buffers have no rep to cache into; recompute per call (hashing
@@ -82,7 +93,7 @@ const std::array<std::uint8_t, 32>& SharedBytes::shared_digest(DigestFn fn) cons
     return empty_digest;
   }
   std::call_once(rep_->digest_once,
-                 [&] { fn(rep_->bytes.data(), rep_->bytes.size(), rep_->digest.data()); });
+                 [&] { fn(rep_->view.data(), rep_->view.size(), rep_->digest.data()); });
   return rep_->digest;
 }
 

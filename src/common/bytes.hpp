@@ -50,18 +50,29 @@ class SharedBytes {
   /// Deep-copy construction from a view (the only copying entry point).
   static SharedBytes copy(BytesView v);
 
-  const std::uint8_t* data() const { return rep_ ? rep_->bytes.data() : nullptr; }
-  std::size_t size() const { return rep_ ? rep_->bytes.size() : 0; }
+  const std::uint8_t* data() const { return rep_ ? rep_->view.data() : nullptr; }
+  std::size_t size() const { return rep_ ? rep_->view.size() : 0; }
   bool empty() const { return size() == 0; }
-  std::uint8_t operator[](std::size_t i) const { return rep_->bytes[i]; }
-  std::uint8_t front() const { return rep_->bytes.front(); }
-  std::uint8_t back() const { return rep_->bytes.back(); }
+  std::uint8_t operator[](std::size_t i) const { return rep_->view[i]; }
+  std::uint8_t front() const { return rep_->view.front(); }
+  std::uint8_t back() const { return rep_->view.back(); }
 
-  BytesView view() const { return rep_ ? BytesView(rep_->bytes) : BytesView(); }
+  BytesView view() const { return rep_ ? rep_->view : BytesView(); }
   operator BytesView() const { return view(); }  // NOLINT
 
   /// Deep copy out (for call sites that need an owning, mutable Bytes).
-  Bytes to_bytes() const { return rep_ ? rep_->bytes : Bytes{}; }
+  Bytes to_bytes() const {
+    return rep_ ? Bytes(rep_->view.begin(), rep_->view.end()) : Bytes{};
+  }
+
+  /// Aliased subview of this buffer from `offset` to the end: no byte copy —
+  /// the returned SharedBytes pins the same underlying allocation — but a
+  /// *fresh* digest slot, because a digest must cover the view's bytes, not
+  /// the parent buffer's. This is how the auth layer strips signature headers
+  /// without re-allocating payloads. `offset` is clamped to size(); the
+  /// result compares by its visible bytes like any other SharedBytes, and
+  /// same_buffer() with the parent is false (different digest identity).
+  SharedBytes suffix(std::size_t offset) const;
 
   /// True if `other` aliases the same underlying buffer (not just equal
   /// bytes) — what the fan-out tests assert.
@@ -91,8 +102,12 @@ class SharedBytes {
 
  private:
   struct Rep {
-    explicit Rep(Bytes b) : bytes(std::move(b)) {}
-    const Bytes bytes;
+    explicit Rep(Bytes b) : owned(std::move(b)), view(owned) {}
+    Rep(std::shared_ptr<const Rep> p, BytesView v)
+        : parent(std::move(p)), view(v) {}
+    const Bytes owned;                        ///< empty for suffix views
+    const std::shared_ptr<const Rep> parent;  ///< pins the allocation for views
+    const BytesView view;
     mutable std::once_flag digest_once;
     mutable std::array<std::uint8_t, 32> digest{};
   };

@@ -1,0 +1,70 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch.
+//
+// Vendored next to sha256/hmac so the signing layer has no external
+// dependency: a compact, allocation-free implementation in the TweetNaCl
+// style (radix-2^16 field elements, extended twisted-Edwards coordinates,
+// the complete a=-1 addition law). Secret-scalar multiplications (key
+// generation, signing) run the constant-time conditional-swap ladder;
+// verification — public data — uses a 4-bit-window variable-time multiply,
+// roughly 1.5x faster per point multiplication.
+//
+// verify_batch() implements small-exponent batch verification: for random
+// 128-bit coefficients z_i it checks
+//
+//     (sum z_i s_i) B  ==  sum z_i R_i + sum (z_i h_i) A_i
+//
+// in one multi-scalar accumulation, amortizing the shared base-point term
+// and halving the R_i multiplications (128- vs 256-bit scalars) — the
+// round-batch amortization the auth layer benches (BM_auth_verify_batch).
+// A failing batch says only "at least one bad signature": callers fall back
+// to individual verify() to attribute blame.
+//
+// Signatures are deterministic (RFC 8032 nonce derivation), which the
+// golden-fingerprint equivalence tests rely on. Non-canonical signatures
+// (s >= L) are rejected. This implementation trades side-channel hardening
+// beyond the CT ladder (no cache-line scrubbing, no table masking) for
+// compactness — fine for the research simulator, called out in docs/AUTH.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "crypto/rng.hpp"
+
+namespace dauct::crypto::ed25519 {
+
+using Seed = std::array<std::uint8_t, 32>;       ///< secret key material
+using PublicKey = std::array<std::uint8_t, 32>;  ///< compressed point A
+using Signature = std::array<std::uint8_t, 64>;  ///< R (32) || s (32)
+
+struct KeyPair {
+  Seed seed;
+  PublicKey public_key;
+};
+
+/// Derive the keypair for a 32-byte seed (RFC 8032 §5.1.5).
+KeyPair keypair_from_seed(const Seed& seed);
+
+/// Sign `message` (detached, deterministic).
+Signature sign(const KeyPair& kp, BytesView message);
+
+/// Verify a detached signature. False on bad point encodings, non-canonical
+/// s, or signature mismatch — never throws.
+bool verify(const PublicKey& pk, BytesView message, const Signature& sig);
+
+/// One signature of a batch. Pointers are borrowed for the call.
+struct BatchItem {
+  const PublicKey* public_key = nullptr;
+  BytesView message;
+  const Signature* signature = nullptr;
+};
+
+/// Small-exponent batch verification. True iff every signature in `items`
+/// is valid (empty batch: true). `rng` supplies the random coefficients —
+/// any stream works; the caller chooses determinism (a fixed-seed Rng) or
+/// not. On false, at least one item is invalid; verify() each to attribute.
+bool verify_batch(std::span<const BatchItem> items, Rng& rng);
+
+}  // namespace dauct::crypto::ed25519

@@ -1,0 +1,51 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Used exclusively by the ed25519 signing layer (crypto/ed25519.hpp): the
+// scheme hashes the secret seed, the nonce transcript, and the challenge
+// transcript with SHA-512. Kept separate from sha256.hpp because the two
+// share no state layout (64- vs 32-bit words) and the protocol's digest
+// cross-validation stays SHA-256 everywhere.
+//
+// Portable scalar compressor only: signing and verification cost is dominated
+// by curve arithmetic, not hashing, so there is no hardware dispatch here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dauct::crypto {
+
+/// A 64-byte SHA-512 digest.
+using Digest64 = std::array<std::uint8_t, 64>;
+
+/// Incremental SHA-512 hasher.
+class Sha512 {
+ public:
+  Sha512();
+
+  /// Absorb more input. May be called any number of times.
+  Sha512& update(BytesView data);
+  Sha512& update(std::string_view data);
+
+  /// Finalize and return the digest. The hasher must not be reused afterwards
+  /// without calling reset().
+  Digest64 finish();
+
+  /// Reset to the initial state.
+  void reset();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::uint64_t len_lo_ = 0;  ///< message length in bytes (2^64 B is plenty)
+  std::array<std::uint8_t, 128> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot hash.
+Digest64 sha512(BytesView data);
+
+}  // namespace dauct::crypto

@@ -41,6 +41,13 @@ void ReliableLink::send(NodeId to, const net::Topic& topic, SharedBytes payload)
     base_.send(to, topic, std::move(payload));
     return;
   }
+  // Every call reaching this point is an application-level logical message
+  // (retransmits and re-request answers go through base_ directly): record
+  // its key and flag reuse, the one pattern receiver dedup would misread.
+  if (!bounded_insert(sent_keys_, sent_keys_order_,
+                      MsgKey{to, topic.id(), payload_digest(payload)})) {
+    ++stats_.sender_key_reuses;
+  }
   sent_cache_[cache_key(to, topic.id())] = payload;
   if (timers_available_) {
     const MsgKey key{to, topic.id(), payload_digest(payload)};
@@ -135,10 +142,23 @@ bool ReliableLink::on_deliver(const net::Message& msg) {
   }
   if (msg.from >= m_) return true;  // client traffic: no acks, no dedup
   send_ack(msg);  // ack every copy — a lost ack is recovered by the re-ack
-  if (!seen_.insert(MsgKey{msg.from, msg.topic.id(), payload_digest(msg.payload)})
-           .second) {
+  if (!bounded_insert(seen_, seen_order_,
+                      MsgKey{msg.from, msg.topic.id(), payload_digest(msg.payload)})) {
     ++stats_.duplicates_suppressed;
     return false;
+  }
+  return true;
+}
+
+bool ReliableLink::bounded_insert(std::unordered_set<MsgKey, MsgKeyHash>& set,
+                                  std::deque<MsgKey>& order, const MsgKey& key) {
+  if (!set.insert(key).second) return false;
+  order.push_back(key);
+  const std::size_t window = std::max<std::size_t>(config_.dedup_window, 1);
+  while (order.size() > window) {
+    set.erase(order.front());
+    order.pop_front();
+    ++stats_.dedup_evictions;
   }
   return true;
 }

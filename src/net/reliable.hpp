@@ -35,6 +35,7 @@
 // docs/RELIABILITY.md.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -52,6 +53,14 @@ struct ReliabilityConfig {
   sim::SimTime retransmit_delay = sim::from_millis(8);  ///< backoff base
   std::size_t max_retries = 6;       ///< retransmits before giving up
   sim::SimTime round_timeout = sim::from_millis(12);  ///< 0 = no watchdogs
+
+  /// Bound on the receiver dedup set and the sender key history (entries,
+  /// FIFO-evicted). Without a bound those sets grow with every distinct
+  /// message for the lifetime of the link — a leak on long runs. Eviction
+  /// only forgets messages old enough that their retransmission window
+  /// (max_retries backoffs) has long closed, so correctness is unaffected
+  /// unless the window is set absurdly small. Must be >= 1.
+  std::size_t dedup_window = 4096;
 };
 
 /// What the link did, for reports and assertions (aggregated per run into
@@ -65,6 +74,14 @@ struct ReliabilityStats {
   std::uint64_t rerequests_sent = 0;         ///< round-watchdog re-requests
   std::uint64_t rerequests_answered = 0;     ///< answered from the sent cache
   std::uint64_t give_ups = 0;                ///< messages abandoned after max_retries
+  std::uint64_t dedup_evictions = 0;         ///< keys FIFO-evicted at the bound
+  /// Application-level sends that reused an already-sent (peer, topic,
+  /// digest) key. The dedup key is sound only while blocks never re-send an
+  /// identical payload as a *new* logical message — this counter is the
+  /// runtime check of that invariant (pinned to 0 across the golden runs in
+  /// reliable_test; were a block ever to violate it, the fix is a sender
+  /// sequence number in MsgKey, see docs/RELIABILITY.md).
+  std::uint64_t sender_key_reuses = 0;
 
   ReliabilityStats& operator+=(const ReliabilityStats& o) {
     tracked += o.tracked;
@@ -75,6 +92,8 @@ struct ReliabilityStats {
     rerequests_sent += o.rerequests_sent;
     rerequests_answered += o.rerequests_answered;
     give_ups += o.give_ups;
+    dedup_evictions += o.dedup_evictions;
+    sender_key_reuses += o.sender_key_reuses;
     return *this;
   }
 };
@@ -105,6 +124,11 @@ class ReliableLink final : public blocks::Endpoint {
   void set_on_give_up(GiveUpFn fn) { on_give_up_ = std::move(fn); }
   const ReliabilityStats& stats() const { return stats_; }
   const ReliabilityConfig& config() const { return config_; }
+
+  /// Current receiver-dedup set size (tests pin the dedup_window bound).
+  std::size_t dedup_entries() const { return seen_.size(); }
+  /// Current sender key-history size (bounded by the same window).
+  std::size_t sent_key_entries() const { return sent_keys_.size(); }
 
  private:
   /// Identity of one logical message: peer + round topic + payload digest.
@@ -139,8 +163,21 @@ class ReliableLink final : public blocks::Endpoint {
   net::Topic ack_topic_;
   net::Topic rreq_topic_;
 
+  /// Insert `key` into `set` with FIFO eviction at config_.dedup_window
+  /// (`order` tracks insertion order). Returns false if already present.
+  bool bounded_insert(std::unordered_set<MsgKey, MsgKeyHash>& set,
+                      std::deque<MsgKey>& order, const MsgKey& key);
+
   std::unordered_map<MsgKey, Pending, MsgKeyHash> unacked_;
+  /// Receiver dedup set + its FIFO eviction order: bounded at
+  /// config_.dedup_window entries, not by run length.
   std::unordered_set<MsgKey, MsgKeyHash> seen_;
+  std::deque<MsgKey> seen_order_;
+  /// Keys of application-level sends (same bound): detects a block re-sending
+  /// an identical (peer, topic, payload) as a new logical message — which
+  /// receiver dedup would silently swallow (stats_.sender_key_reuses).
+  std::unordered_set<MsgKey, MsgKeyHash> sent_keys_;
+  std::deque<MsgKey> sent_keys_order_;
   /// Last payload sent per (peer, topic id) — the re-request answer source.
   std::unordered_map<std::uint64_t, SharedBytes> sent_cache_;
 

@@ -250,6 +250,7 @@ bool parse_crash_section(ParseCtx& ctx, const serde::IniSection& sec) {
 }
 
 bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  bool knobs = false;  // any key besides enable
   for (const auto& kv : sec.entries) {
     if (kv.key == "enable") {
       const auto v = to_bool(kv.value);
@@ -259,17 +260,78 @@ bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_time_ms(kv.value);
       if (!v || *v == 0) return ctx.bad_value(kv);  // 0 would retransmit in a spin
       ctx.sc.reliability.retransmit_delay = *v;
+      knobs = true;
     } else if (kv.key == "max_retries") {
       const auto v = to_u64(kv.value);
       if (!v) return ctx.bad_value(kv);
       ctx.sc.reliability.max_retries = static_cast<std::size_t>(*v);
+      knobs = true;
     } else if (kv.key == "round_timeout_ms") {
       const auto v = to_time_ms(kv.value);  // 0 = watchdogs off
       if (!v) return ctx.bad_value(kv);
       ctx.sc.reliability.round_timeout = *v;
+      // 0 is the documented "watchdogs off" value — consistent with a
+      // disabled layer, so it does not count as a dangling knob.
+      knobs = knobs || *v != 0;
     } else {
       return ctx.unknown_key("reliability", kv);
     }
+  }
+  // Tuning knobs on a disabled layer would silently do nothing (no link is
+  // constructed): that is a config mistake, not a request — fail fast.
+  if (knobs && !ctx.sc.reliability.enable) {
+    return ctx.fail(sec.line,
+                    "[reliability] sets tuning knobs without enable=true; "
+                    "they would silently do nothing");
+  }
+  return true;
+}
+
+bool parse_auth_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "enable") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.auth.enable = *v;
+    } else if (kv.key == "batch") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.auth.batch_verify = *v;
+    } else {
+      return ctx.unknown_key("auth", kv);
+    }
+  }
+  // Same fail-fast contract as [reliability]: a batch knob on a disabled
+  // layer would silently do nothing.
+  if (ctx.sc.auth.batch_verify && !ctx.sc.auth.enable) {
+    return ctx.fail(sec.line,
+                    "[auth] sets batch without enable=true; it would "
+                    "silently do nothing");
+  }
+  return true;
+}
+
+bool parse_auth_adversary_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "node") {
+      const auto v = to_node(kv.value, ctx.sc.providers);
+      if (!v || *v == kNoNode) return ctx.bad_value(kv);
+      ctx.sc.auth_adversary.node = *v;
+    } else if (kv.key == "mode") {
+      if (kv.value == "forge") {
+        ctx.sc.auth_adversary.mode = adversary::AuthTamperMode::kForge;
+      } else if (kv.value == "replay") {
+        ctx.sc.auth_adversary.mode = adversary::AuthTamperMode::kReplay;
+      } else {
+        return ctx.bad_value(kv);
+      }
+    } else {
+      return ctx.unknown_key("auth_adversary", kv);
+    }
+  }
+  if (ctx.sc.auth_adversary.node == kNoNode ||
+      ctx.sc.auth_adversary.mode == adversary::AuthTamperMode::kNone) {
+    return ctx.fail(sec.line, "[auth_adversary] needs 'node' and 'mode'");
   }
   return true;
 }
@@ -318,6 +380,14 @@ bool parse_expect_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_u64(kv.value);
       if (!v) return ctx.bad_value(kv);
       ctx.sc.expect.min_faults = *v;
+    } else if (kv.key == "min_auth_rejects") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.expect.min_auth_rejects = *v;
+    } else if (kv.key == "equivocation_proof") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.expect.equivocation_proof = *v;
     } else {
       return ctx.unknown_key("expect", kv);
     }
@@ -390,6 +460,8 @@ ScenarioParse parse_scenario(std::string_view text) {
     else if (sec.name == "partition") ok = parse_partition_section(ctx, sec);
     else if (sec.name == "crash") ok = parse_crash_section(ctx, sec);
     else if (sec.name == "reliability") ok = parse_reliability_section(ctx, sec);
+    else if (sec.name == "auth") ok = parse_auth_section(ctx, sec);
+    else if (sec.name == "auth_adversary") ok = parse_auth_adversary_section(ctx, sec);
     else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
     else if (sec.name == "expect") ok = parse_expect_section(ctx, sec);
     else {
@@ -412,6 +484,28 @@ ScenarioParse parse_scenario(std::string_view text) {
                                 " is not a provider (m=" +
                                 std::to_string(ctx.sc.providers) + ")"};
     }
+  }
+  if (ctx.sc.auth_adversary.mode != adversary::AuthTamperMode::kNone) {
+    if (!ctx.sc.auth.enable) {
+      return {std::nullopt,
+              "[auth_adversary] requires [auth] enable=true (without the "
+              "signing layer there is nothing to forge or replay against)"};
+    }
+    if (ctx.sc.auth_adversary.node >= ctx.sc.providers) {
+      return {std::nullopt, "[auth_adversary] node " +
+                                std::to_string(ctx.sc.auth_adversary.node) +
+                                " is not a provider (m=" +
+                                std::to_string(ctx.sc.providers) + ")"};
+    }
+  }
+  if (ctx.sc.expect.min_auth_rejects && !ctx.sc.auth.enable) {
+    return {std::nullopt,
+            "[expect] min_auth_rejects requires [auth] enable=true"};
+  }
+  if (ctx.sc.expect.equivocation_proof && *ctx.sc.expect.equivocation_proof &&
+      !ctx.sc.auth.enable) {
+    return {std::nullopt,
+            "[expect] equivocation_proof=true requires [auth] enable=true"};
   }
   // Every concrete node a fault section names must exist in the deployment
   // (providers 0..m-1 plus the client node m) — a typo'd id would otherwise
@@ -489,6 +583,8 @@ ScenarioRun run_scenario(const Scenario& scenario) {
   cfg.cost_mode = sim::CostMode::kZero;  // the run is a pure function of the file
   cfg.faults = scenario.faults;
   cfg.reliability = scenario.reliability;
+  cfg.auth = scenario.auth;
+  cfg.auth_adversary = scenario.auth_adversary;
   std::vector<NodeId> coalition;
   for (const auto& dev : scenario.deviations) coalition.push_back(dev.node);
   for (const auto& dev : scenario.deviations) {
@@ -504,6 +600,7 @@ ScenarioRun run_scenario(const Scenario& scenario) {
     SimRunConfig clean_cfg = cfg;
     clean_cfg.faults.reset();
     clean_cfg.deviations.clear();
+    clean_cfg.auth_adversary = {};  // the twin keeps auth, loses the attacker
     out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
     out.clean_digest = digest_of(*out.clean);
   }
@@ -557,6 +654,36 @@ ScenarioRun run_scenario(const Scenario& scenario) {
       out.failures.push_back("expected min_faults=" +
                              std::to_string(*exp.min_faults) + ", injector saw " +
                              std::to_string(injected));
+    }
+  }
+  if (exp.min_auth_rejects) {
+    const std::uint64_t rejects = run.auth_stats.rejected_bad_sig +
+                                  run.auth_stats.rejected_malformed +
+                                  run.auth_stats.replays_dropped;
+    if (rejects < *exp.min_auth_rejects) {
+      out.failures.push_back(
+          "expected min_auth_rejects=" + std::to_string(*exp.min_auth_rejects) +
+          ", validators rejected " + std::to_string(rejects));
+    }
+  }
+  if (exp.equivocation_proof) {
+    if (*exp.equivocation_proof != run.equivocation_proof.has_value()) {
+      out.failures.push_back(std::string("expected equivocation_proof=") +
+                             (*exp.equivocation_proof ? "true" : "false") +
+                             ", run " +
+                             (run.equivocation_proof ? "produced one"
+                                                     : "produced none"));
+    } else if (run.equivocation_proof) {
+      // A proof is only as good as its independent verification: re-derive
+      // the run's key directory and check it with the public key alone.
+      const net::KeyDirectory keys(scenario.providers, scenario.seed);
+      if (run.equivocation_proof->signer >= keys.size() ||
+          !net::verify_equivocation_proof(
+              *run.equivocation_proof,
+              keys.public_key(run.equivocation_proof->signer))) {
+        out.failures.push_back(
+            "equivocation proof failed independent verification");
+      }
     }
   }
   return out;

@@ -45,6 +45,13 @@ struct ScenarioExpect {
   std::optional<bool> matches_clean;          ///< result ≡ the fault-free twin
   std::optional<std::string> abort_reason;    ///< abort_reason_name() of the ⊥
   std::optional<std::uint64_t> min_faults;    ///< injected-event lower bound
+  /// Lower bound on frames the signing layer rejected or swallowed
+  /// (bad signature + malformed + replays).
+  std::optional<std::uint64_t> min_auth_rejects;
+  /// The run must (true) / must not (false) yield a transferable
+  /// equivocation proof — and a yielded proof must pass independent
+  /// verification against the accused signer's public key.
+  std::optional<bool> equivocation_proof;
 };
 
 struct Scenario {
@@ -62,6 +69,9 @@ struct Scenario {
 
   sim::FaultPlan faults;
   net::ReliabilityConfig reliability;  ///< [reliability]; disabled by default
+  net::AuthConfig auth;                ///< [auth]; disabled by default
+  /// [auth_adversary]: wire-level forge/replay injection (needs [auth]).
+  adversary::AuthAdversaryConfig auth_adversary;
   std::vector<DeviationSpec> deviations;
   ScenarioExpect expect;
 };

@@ -85,15 +85,27 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   if (config_.faults) scheduler.install_fault_plan(*config_.faults);
 
   // Endpoints and engines. The per-provider chain, outermost (engine-facing)
-  // first: [DeviantEndpoint →] [ReliableLink →] SimEndpoint — deviation
-  // shapes what the engine sends *before* the link tracks it (a byzantine
-  // node runs its reliability layer on its tampered output), and the link is
-  // the last hop before the wire. With reliability off no link exists and
-  // the chain is byte-identical to the pre-reliability runtime.
+  // first: [DeviantEndpoint →] [SignerEndpoint →] [AuthTamperEndpoint →]
+  // [ReliableLink →] SimEndpoint — deviation shapes what the engine sends
+  // *before* the signer signs it (a byzantine node signs its tampered output
+  // with its own key: the stolen-key equivocator), the wire adversary injects
+  // *after* signing (it holds no key, so its frames cannot verify), and the
+  // link is the last hop before the wire, tracking the frames actually sent.
+  // With reliability and auth off no wrapper exists and the chain is
+  // byte-identical to the original runtime.
   crypto::Rng seeder(config_.seed ^ 0xd15742u);
+  std::shared_ptr<const net::KeyDirectory> key_dir;
+  net::AuthStats auth_stats;
+  if (config_.auth.enable) {
+    key_dir = std::make_shared<net::KeyDirectory>(m, config_.seed);
+  }
   std::vector<std::unique_ptr<net::SimEndpoint>> endpoints;
   std::vector<std::unique_ptr<net::ReliableLink>> links;
   std::vector<net::ReliableLink*> link_of(m, nullptr);
+  std::vector<std::unique_ptr<adversary::AuthTamperEndpoint>> tamperers;
+  std::vector<std::unique_ptr<net::SignerEndpoint>> signers;
+  std::vector<std::unique_ptr<net::MessageValidator>> validators;
+  std::vector<net::MessageValidator*> validator_of(m, nullptr);
   std::vector<std::unique_ptr<adversary::DeviantEndpoint>> deviants;
   std::vector<std::unique_ptr<core::ProviderEngine>> engines;
   endpoints.reserve(m);
@@ -106,6 +118,21 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
       links.push_back(std::make_unique<net::ReliableLink>(*ep, config_.reliability));
       link_of[j] = links.back().get();
       ep = links.back().get();
+    }
+    if (config_.auth.enable) {
+      if (config_.auth_adversary.node == j &&
+          config_.auth_adversary.mode != adversary::AuthTamperMode::kNone) {
+        tamperers.push_back(std::make_unique<adversary::AuthTamperEndpoint>(
+            *ep, config_.auth_adversary.mode));
+        ep = tamperers.back().get();
+      }
+      signers.push_back(
+          std::make_unique<net::SignerEndpoint>(*ep, key_dir, &auth_stats));
+      ep = signers.back().get();
+      validators.push_back(std::make_unique<net::MessageValidator>(
+          j, key_dir, config_.auth, config_.seed ^ (0xba7c4000u + j),
+          &auth_stats));
+      validator_of[j] = validators.back().get();
     }
     if (auto it = config_.deviations.find(j); it != config_.deviations.end()) {
       deviants.push_back(
@@ -155,12 +182,34 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   };
 
   for (NodeId j = 0; j < m; ++j) {
-    scheduler.set_deliver(j, [&, j](const net::Message& msg) {
+    scheduler.set_deliver(j, [&, j](const net::Message& raw) {
       // The reliable link consumes its control traffic (acks, re-requests)
       // and retransmitted duplicates before the engine can misread them.
-      if (net::ReliableLink* link = link_of[j]; link && !link->on_deliver(msg)) {
+      if (net::ReliableLink* link = link_of[j]; link && !link->on_deliver(raw)) {
         return;
       }
+      // The validator then verifies and strips the signature header (auth on)
+      // — rejected and replayed frames die here; equivocation aborts.
+      net::Message verified;
+      const net::Message* delivered = &raw;
+      if (net::MessageValidator* v = validator_of[j]) {
+        verified = raw;
+        switch (v->on_deliver(verified)) {
+          case net::MessageValidator::Action::kDrop:
+            return;
+          case net::MessageValidator::Action::kAbort:
+            engines[j]->abort(
+                Bottom{v->proof() ? AbortReason::kEquivocationDetected
+                                  : AbortReason::kProtocolViolation,
+                       v->abort_detail()});
+            note_progress(j);
+            return;
+          case net::MessageValidator::Action::kDeliver:
+            break;
+        }
+        delivered = &verified;
+      }
+      const net::Message& msg = *delivered;
       core::ProviderEngine& engine = *engines[j];
       if (msg.topic == bids_topic) {
         // Idempotent against a (faulty) network duplicating the client batch:
@@ -221,10 +270,27 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
     DAUCT_WARN("sim runtime: event budget exhausted; treating run as stalled");
   }
 
+  // Batch verification delivers optimistically; flush what never reached a
+  // full round. A failure here is late detection: it overrides whatever
+  // outcome the provider computed from the forged input.
+  std::vector<std::optional<Bottom>> late_auth_abort(m);
+  for (NodeId j = 0; j < m; ++j) {
+    if (net::MessageValidator* v = validator_of[j];
+        v && v->finalize() == net::MessageValidator::Action::kAbort) {
+      late_auth_abort[j] =
+          Bottom{v->proof() ? AbortReason::kEquivocationDetected
+                            : AbortReason::kProtocolViolation,
+                 v->abort_detail()};
+    }
+  }
+
   SimRunResult result;
   result.provider_outcomes.reserve(m);
   for (NodeId j = 0; j < m; ++j) {
-    if (engines[j]->done()) {
+    if (late_auth_abort[j]) {
+      result.provider_outcomes.push_back(
+          auction::AuctionOutcome(*late_auth_abort[j]));
+    } else if (engines[j]->done()) {
       result.provider_outcomes.push_back(*engines[j]->outcome());
     } else {
       result.stalled = true;
@@ -238,6 +304,34 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   result.traffic = scheduler.traffic();
   if (const auto* fs = scheduler.fault_stats()) result.fault_stats = *fs;
   for (const auto& link : links) result.reliability_stats += link->stats();
+  if (config_.auth.enable) {
+    result.auth_stats = auth_stats;
+    // Prefer a proof a receiver assembled locally (it saw both conflicting
+    // frames); otherwise run the auditor sweep, which cross-references every
+    // receiver's records and catches split equivocation.
+    for (NodeId j = 0; j < m && !result.equivocation_proof; ++j) {
+      if (validator_of[j] && validator_of[j]->proof()) {
+        result.equivocation_proof = validator_of[j]->proof();
+      }
+    }
+    if (!result.equivocation_proof) {
+      std::vector<const net::MessageValidator*> vs;
+      for (NodeId j = 0; j < m; ++j) {
+        if (validator_of[j]) vs.push_back(validator_of[j]);
+      }
+      result.equivocation_proof = net::audit_equivocation(vs, *key_dir);
+    }
+    if (result.equivocation_proof && !result.global_outcome.ok()) {
+      // A transferable proof is the strongest statement about why the run
+      // died: surface it as the global reason (the engine-level mismatch it
+      // provoked stays visible in the per-provider outcomes).
+      result.global_outcome = auction::AuctionOutcome(
+          Bottom{AbortReason::kEquivocationDetected,
+                 "transferable equivocation proof against provider p" +
+                     std::to_string(result.equivocation_proof->signer) +
+                     " on topic '" + result.equivocation_proof->topic + "'"});
+    }
+  }
   result.bid_agreement_done_at = std::move(ba_done);
   result.provider_done_at = std::move(eng_done);
   return result;

@@ -21,10 +21,12 @@
 #include <memory>
 #include <optional>
 
+#include "adversary/auth_adversary.hpp"
 #include "adversary/bidder_behaviour.hpp"
 #include "adversary/provider_deviation.hpp"
 #include "core/centralized_auctioneer.hpp"
 #include "core/distributed_auctioneer.hpp"
+#include "net/auth.hpp"
 #include "net/reliable.hpp"
 #include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
@@ -53,6 +55,17 @@ struct SimRunConfig {
   /// the pre-reliability runtime, golden-pinned.
   net::ReliabilityConfig reliability;
 
+  /// Message authentication (net/auth.hpp): ed25519 sign-on-send /
+  /// verify-on-deliver under the blocks, with transferable equivocation
+  /// proofs. Disabled (the default) constructs no signing layer at all —
+  /// byte-identical to the unauthenticated runtime, golden-pinned.
+  net::AuthConfig auth;
+
+  /// Wire-level adversary against the signing layer (adversary/
+  /// auth_adversary.hpp): inject forged or replayed frames on one
+  /// provider's outgoing edge.
+  adversary::AuthAdversaryConfig auth_adversary;
+
   /// Safety valve against runaway simulations.
   std::uint64_t max_events = 50'000'000;
 };
@@ -64,6 +77,13 @@ struct SimRunResult {
   sim::TrafficStats traffic;
   sim::FaultStats fault_stats;     ///< zeros unless a fault plan was installed
   net::ReliabilityStats reliability_stats;  ///< summed over links; zeros when off
+  net::AuthStats auth_stats;  ///< signing-layer counters; zeros when off
+
+  /// Transferable evidence of equivocation (net/auth.hpp), when the signing
+  /// layer saw one: either assembled by a receiver that observed both
+  /// conflicting frames, or by the post-run auditor sweep that
+  /// cross-references all receivers' records (split equivocation).
+  std::optional<net::EquivocationProof> equivocation_proof;
   bool stalled = false;  ///< some provider never finished (counts as ⊥)
   std::uint64_t shared_seed = 0;   ///< common-coin value (distributed runs)
 

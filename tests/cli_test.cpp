@@ -41,7 +41,8 @@ constexpr const char* kKnownFlags[] = {
     "--asks",     "--k",       "--epsilon",   "--mode",     "--centralized",
     "--runtime",  "--latency", "--trace",     "--scenario", "--csv",
     "--reliable", "--retransmit-delay-ms",    "--max-retries",
-    "--round-timeout-ms",      "--help",
+    "--round-timeout-ms",      "--auth",      "--auth-batch",
+    "--help",
 };
 
 TEST(Cli, HelpMentionsEveryParsedFlag) {
@@ -81,6 +82,41 @@ TEST(Cli, ReliableRunSucceedsAndPrintsCounters) {
   EXPECT_NE(r.output.find("reliability:"), std::string::npos);
   EXPECT_NE(r.output.find("retransmits"), std::string::npos);
   EXPECT_NE(r.output.find("give-ups"), std::string::npos);
+}
+
+TEST(Cli, AuthRunSucceedsAndPrintsCounters) {
+  const auto r = run_command(
+      "--auction double --users 8 --providers 3 --k 1 --latency zero --seed 3 "
+      "--auth");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("auth:"), std::string::npos);
+  EXPECT_NE(r.output.find("signed"), std::string::npos);
+  EXPECT_NE(r.output.find("verified"), std::string::npos);
+  const auto batch = run_command(
+      "--auction double --users 8 --providers 3 --k 1 --latency zero --seed 3 "
+      "--auth-batch");
+  EXPECT_EQ(batch.exit_code, 0) << batch.output;
+  EXPECT_NE(batch.output.find("batches"), std::string::npos);
+}
+
+// Satellite bugfix: sim-only layers on timerless runtimes must fail fast
+// instead of silently no-opping (round watchdogs simply would not run).
+TEST(Cli, SimOnlyFlagsRejectedOnThreadAndTcpRuntimes) {
+  for (const char* rt : {"thread", "tcp"}) {
+    const auto reliable = run_command(std::string("--runtime ") + rt +
+                                      " --reliable --users 6 --providers 3");
+    EXPECT_EQ(reliable.exit_code, 1) << reliable.output;
+    EXPECT_NE(reliable.output.find("requires --runtime sim"), std::string::npos)
+        << reliable.output;
+    const auto timeout = run_command(std::string("--runtime ") + rt +
+                                     " --round-timeout-ms 8 --users 6 --providers 3");
+    EXPECT_EQ(timeout.exit_code, 1) << timeout.output;
+    EXPECT_NE(timeout.output.find("--round-timeout-ms"), std::string::npos);
+    const auto auth = run_command(std::string("--runtime ") + rt +
+                                  " --auth --users 6 --providers 3");
+    EXPECT_EQ(auth.exit_code, 1) << auth.output;
+    EXPECT_NE(auth.output.find("requires --runtime sim"), std::string::npos);
+  }
 }
 
 TEST(Cli, ZeroRetransmitDelayIsRejectedLikeTheScenarioParser) {

@@ -40,6 +40,53 @@ TEST(Bytes, StringConversions) {
   EXPECT_EQ(to_string(BytesView(b)), "hello");
 }
 
+namespace {
+void test_digest(const std::uint8_t* data, std::size_t size,
+                 std::uint8_t out[32]) {
+  // Cheap stand-in: first byte + length, enough to tell two views apart.
+  for (int i = 0; i < 32; ++i) out[i] = 0;
+  out[0] = size ? data[0] : 0xee;
+  out[1] = static_cast<std::uint8_t>(size);
+}
+}  // namespace
+
+TEST(SharedBytes, SuffixAliasesWithoutCopying) {
+  const SharedBytes whole(Bytes{10, 11, 12, 13, 14});
+  const SharedBytes tail = whole.suffix(2);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.view().data(), whole.view().data() + 2)
+      << "suffix must alias the parent allocation, not copy";
+  EXPECT_EQ(tail, (Bytes{12, 13, 14}));
+  // Same allocation, but NOT the same buffer identity: the digest slot is
+  // fresh, because a digest must cover the view's bytes.
+  EXPECT_FALSE(tail.same_buffer(whole));
+  EXPECT_NE(whole.shared_digest(test_digest)[0],
+            tail.shared_digest(test_digest)[0]);
+}
+
+TEST(SharedBytes, SuffixKeepsTheAllocationAlive) {
+  SharedBytes tail;
+  {
+    SharedBytes whole(Bytes{1, 2, 3, 4});
+    tail = whole.suffix(1);
+  }  // parent alias gone; the view must still pin the allocation
+  EXPECT_EQ(tail, (Bytes{2, 3, 4}));
+}
+
+TEST(SharedBytes, SuffixEdgeCases) {
+  const SharedBytes whole(Bytes{1, 2, 3});
+  // offset 0 is the identity: same buffer, shared digest slot.
+  EXPECT_TRUE(whole.suffix(0).same_buffer(whole));
+  // Past-the-end offsets clamp to the empty buffer.
+  EXPECT_TRUE(whole.suffix(3).empty());
+  EXPECT_TRUE(whole.suffix(99).empty());
+  EXPECT_TRUE(SharedBytes().suffix(1).empty());
+  // A suffix of a suffix chains to the root allocation.
+  const SharedBytes inner = whole.suffix(1).suffix(1);
+  EXPECT_EQ(inner, (Bytes{3}));
+  EXPECT_EQ(inner.view().data(), whole.view().data() + 2);
+}
+
 TEST(Bytes, Append) {
   Bytes dst = {1, 2};
   const Bytes src = {3, 4};

@@ -225,6 +225,59 @@ TEST(ReliableLink, DegradesToFireAndForgetOverATimerlessEndpoint) {
   EXPECT_EQ(link.stats().duplicates_suppressed, 1u);
 }
 
+TEST(ReliableLink, DedupSetsAreBoundedByTheConfiguredWindow) {
+  // Regression for the unbounded-growth bug: the receiver dedup set and the
+  // sender key history used to grow with every distinct message for the life
+  // of the link. Both are now FIFO-capped at dedup_window entries.
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  cfg.dedup_window = 8;
+  TimerlessEndpoint ep(2);
+  net::ReliableLink link(ep, cfg);
+
+  for (int i = 0; i < 100; ++i) {
+    const auto b = static_cast<std::uint8_t>(i);
+    net::Message m{1, 0, "t/data", SharedBytes(Bytes{b, 0x5a})};
+    EXPECT_TRUE(link.on_deliver(m));
+    EXPECT_LE(link.dedup_entries(), 8u);
+    link.send(1, "t/data", SharedBytes(Bytes{b, 0x77}));
+    EXPECT_LE(link.sent_key_entries(), 8u);
+  }
+  EXPECT_EQ(link.dedup_entries(), 8u);
+  EXPECT_EQ(link.sent_key_entries(), 8u);
+  EXPECT_EQ(link.stats().dedup_evictions, 2u * (100 - 8));
+  EXPECT_EQ(link.stats().sender_key_reuses, 0u);
+
+  // FIFO semantics: a key still inside the window dedups...
+  net::Message recent{1, 0, "t/data", SharedBytes(Bytes{99, 0x5a})};
+  EXPECT_FALSE(link.on_deliver(recent));
+  // ...while one evicted long ago is accepted again — the documented
+  // trade-off: eviction only forgets messages whose retransmission window
+  // has closed, so a "duplicate" this stale cannot occur in a real run.
+  net::Message ancient{1, 0, "t/data", SharedBytes(Bytes{0, 0x5a})};
+  EXPECT_TRUE(link.on_deliver(ancient));
+}
+
+TEST(ReliableLink, SenderKeyReuseIsCountedNotSilentlySwallowed) {
+  // The dedup key is (peer, topic, sha256(payload)): if a block re-sent an
+  // identical payload as a *new* logical message, receiver-side dedup would
+  // silently swallow it. The link counts exactly that pattern on the sender
+  // side so the invariant is observable (and pinned to 0 over real runs).
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  TimerlessEndpoint ep(2);
+  net::ReliableLink link(ep, cfg);
+
+  link.send(1, "t/data", SharedBytes(Bytes{1, 2}));
+  EXPECT_EQ(link.stats().sender_key_reuses, 0u);
+  link.send(1, "t/data", SharedBytes(Bytes{1, 2}));  // identical key: flagged
+  EXPECT_EQ(link.stats().sender_key_reuses, 1u);
+  link.send(1, "t/data", SharedBytes(Bytes{3}));       // new payload: fine
+  link.send(1, "t/other", SharedBytes(Bytes{1, 2}));   // new topic: fine
+  link.send(0, "t/data", SharedBytes(Bytes{1, 2}));    // new peer: fine
+  EXPECT_EQ(link.stats().sender_key_reuses, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Timer semantics
 // ---------------------------------------------------------------------------
@@ -411,6 +464,39 @@ TEST(ReliableEquivalence, EnabledOverFaultFreeLinkPinsEveryGoldenDigest) {
     EXPECT_EQ(run.reliability_stats.duplicates_suppressed,
               run.reliability_stats.retransmits)
         << "on a fault-free link every retransmit (if any) is spurious";
+    EXPECT_EQ(run.reliability_stats.sender_key_reuses, 0u)
+        << "a block re-sent an identical (peer, topic, payload) as a new "
+           "logical message — digest-keyed dedup would swallow it";
+  }
+}
+
+TEST(ReliableEquivalence, NoSenderKeyReuseAcrossAgreementModes) {
+  // The digest-keyed dedup is sound only while no block — in any round type:
+  // value, bit-stream, or per-bit agreement — re-sends an identical
+  // (peer, topic, payload) as a new logical message. Pin the invariant over
+  // every agreement mode; were it ever violated, the fix is a sender
+  // sequence number in MsgKey (docs/RELIABILITY.md).
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  for (const blocks::AgreementMode mode :
+       {blocks::AgreementMode::kValueBatched, blocks::AgreementMode::kBitStream,
+        blocks::AgreementMode::kPerBitMessages}) {
+    SCOPED_TRACE(blocks::agreement_mode_name(mode));
+    core::AuctioneerSpec spec;
+    spec.m = 3;
+    spec.k = 1;
+    spec.num_bidders = 4;
+    spec.agreement_mode = mode;
+    const core::DistributedAuctioneer auctioneer(
+        spec, std::make_shared<core::DoubleAuctionAdapter>());
+    const auto inst = testutil::make_instance(4, 3, 13, false);
+    runtime::SimRunConfig rc;
+    rc.seed = 13;
+    rc.reliability = cfg;
+    const auto run = runtime::SimRuntime(rc).run_distributed(auctioneer, inst);
+    ASSERT_TRUE(run.global_outcome.ok());
+    EXPECT_GT(run.reliability_stats.tracked, 0u);
+    EXPECT_EQ(run.reliability_stats.sender_key_reuses, 0u);
   }
 }
 
@@ -434,6 +520,9 @@ TEST(ReliableRecovery, LossyRunCompletesWithTheFaultFreeResult) {
   EXPECT_GT(run.fault_stats.link_dropped, 0u);
   EXPECT_GT(run.reliability_stats.retransmits, 0u);
   EXPECT_EQ(run.reliability_stats.give_ups, 0u);
+  // Retransmits and re-request answers bypass the key history: even a lossy
+  // run must not register application-level key reuse.
+  EXPECT_EQ(run.reliability_stats.sender_key_reuses, 0u);
 }
 
 TEST(ReliableRecovery, CrashRecoverMidRoundIsRecovered) {

@@ -219,6 +219,15 @@ TEST(ScenarioParse, ReliabilityStrictness) {
       runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n"
                               "[reliability]\nround_timeout_ms = 0\n")
           .ok());
+  // Tuning knobs without enable=true would silently do nothing: rejected.
+  const auto dangling =
+      runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n"
+                              "[reliability]\nround_timeout_ms = 9\n");
+  EXPECT_FALSE(dangling.ok());
+  EXPECT_NE(dangling.error.find("enable"), std::string::npos);
+  EXPECT_FALSE(runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n"
+                                       "[reliability]\nmax_retries = 3\n")
+                   .ok());
 }
 
 TEST(ScenarioParse, AbsurdTimesClampToForever) {

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
@@ -47,6 +48,12 @@ struct Options {
   bool trace = false;
   bool help = false;
   net::ReliabilityConfig reliability;  // --reliable and friends (sim runtime)
+  net::AuthConfig auth;                // --auth / --auth-batch (sim runtime)
+  /// Sim-only flags the user explicitly passed: the thread/TCP runtimes have
+  /// no virtual-time timer facility (blocks/block.cpp), so reliability
+  /// watchdogs and the signing layer would silently no-op there. We record
+  /// each such flag and reject the combination instead of ignoring it.
+  std::vector<std::string> sim_only_flags;
 };
 
 void print_usage() {
@@ -71,12 +78,23 @@ execution:
   --latency zero|lan|community  sim network model (default community)
   --trace                     print the sim message trace (first 60 entries)
 
-reliability (sim runtime; ack/retransmit layer, see docs/RELIABILITY.md):
+reliability (sim runtime only; ack/retransmit layer, see docs/RELIABILITY.md):
   --reliable                  enable the reliable-delivery layer
   --retransmit-delay-ms D     backoff base before the first retransmit (default 8)
   --max-retries N             retransmits before giving up on a peer (default 6)
   --round-timeout-ms D        round liveness watchdog period; 0 disables
                               (default 12)
+
+authentication (sim runtime only; ed25519 signing layer, see docs/AUTH.md):
+  --auth                      sign every provider frame, verify on delivery,
+                              and turn equivocation into a transferable proof
+  --auth-batch                verify each round's signatures as one batch
+                              (implies --auth; forgeries abort instead of
+                              being rejected — see docs/AUTH.md)
+
+the reliability and authentication layers need the sim runtime's virtual-time
+timers; combining their flags with --runtime thread|tcp is an error rather
+than a silent no-op.
 
 scenario (deterministic fault injection; see docs/SCENARIOS.md):
   --scenario FILE.scn         run a declarative scenario (link faults, cuts,
@@ -147,6 +165,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.scenario_file = v;
     } else if (arg == "--reliable") {
       opt.reliability.enable = true;
+      opt.sim_only_flags.push_back(arg);
+    } else if (arg == "--auth") {
+      opt.auth.enable = true;
+      opt.sim_only_flags.push_back(arg);
+    } else if (arg == "--auth-batch") {
+      opt.auth.enable = true;
+      opt.auth.batch_verify = true;
+      opt.sim_only_flags.push_back(arg);
     } else if (arg == "--retransmit-delay-ms") {
       if (!(v = need_value(i))) return false;
       const double ms = std::strtod(v, nullptr);
@@ -155,6 +181,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.reliability.retransmit_delay = static_cast<sim::SimTime>(ms * 1e6);
+      opt.sim_only_flags.push_back(arg);
     } else if (arg == "--max-retries") {
       if (!(v = need_value(i))) return false;
       char* end = nullptr;
@@ -164,6 +191,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.reliability.max_retries = n;
+      opt.sim_only_flags.push_back(arg);
     } else if (arg == "--round-timeout-ms") {
       if (!(v = need_value(i))) return false;
       const double ms = std::strtod(v, nullptr);
@@ -172,6 +200,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.reliability.round_timeout = static_cast<sim::SimTime>(ms * 1e6);
+      opt.sim_only_flags.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
       return false;
@@ -274,6 +303,26 @@ int run_scenario_file(const std::string& path) {
                 static_cast<unsigned long long>(rs.rerequests_answered),
                 static_cast<unsigned long long>(rs.give_ups));
   }
+  if (sc.auth.enable) {
+    const auto& as = r.auth_stats;
+    std::printf("auth: %llu signed (%llu fan-out reuses), %llu verified eager, "
+                "%llu batched (%llu batches), %llu bad-sig + %llu malformed "
+                "rejected, %llu replays dropped, %llu equivocations\n",
+                static_cast<unsigned long long>(as.signed_sends),
+                static_cast<unsigned long long>(as.signed_reuses),
+                static_cast<unsigned long long>(as.verified_eager),
+                static_cast<unsigned long long>(as.verified_batched),
+                static_cast<unsigned long long>(as.batches),
+                static_cast<unsigned long long>(as.rejected_bad_sig),
+                static_cast<unsigned long long>(as.rejected_malformed),
+                static_cast<unsigned long long>(as.replays_dropped),
+                static_cast<unsigned long long>(as.equivocations));
+  }
+  if (r.equivocation_proof) {
+    std::printf("equivocation proof: provider p%u on topic '%s' "
+                "(transferable; verified against the signer's public key)\n",
+                r.equivocation_proof->signer, r.equivocation_proof->topic.c_str());
+  }
   if (run.clean) {
     std::printf("fault-free twin: %s\n",
                 run.clean->global_outcome.ok()
@@ -301,6 +350,17 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.scenario_file.empty()) return run_scenario_file(opt.scenario_file);
+
+  // Fail fast instead of silently no-opping: only the sim runtime wires the
+  // reliability and signing layers into its endpoint chains (the thread/TCP
+  // runtimes also lack the timer facility the watchdogs need).
+  if (opt.runtime != "sim" && !opt.sim_only_flags.empty()) {
+    return fail(opt.sim_only_flags.front() + " requires --runtime sim: the " +
+                opt.runtime +
+                " runtime does not wire the reliability/auth layers, so the "
+                "flag would silently do nothing (see docs/RELIABILITY.md and "
+                "docs/AUTH.md)");
+  }
 
   // --- Market -----------------------------------------------------------
   auction::AuctionInstance instance;
@@ -380,11 +440,13 @@ int main(int argc, char** argv) {
   // --- Execution ---------------------------------------------------------
   auction::AuctionOutcome outcome{Bottom{}};
   std::string timing;
+  std::string abort_extra;
   if (opt.runtime == "sim") {
     runtime::SimRunConfig cfg;
     cfg.seed = opt.seed;
     cfg.cost_mode = sim::CostMode::kMeasured;
     cfg.reliability = opt.reliability;
+    cfg.auth = opt.auth;
     if (opt.latency == "zero") {
       cfg.latency = sim::LatencyModel::zero();
     } else if (opt.latency == "lan") {
@@ -404,6 +466,25 @@ int main(int argc, char** argv) {
                 std::to_string(rs.acks_sent) + " acks, " +
                 std::to_string(rs.duplicates_suppressed) + " dups suppressed, " +
                 std::to_string(rs.give_ups) + " give-ups";
+    }
+    if (opt.auth.enable) {
+      const auto& as = run.auth_stats;
+      timing += "; auth: " + std::to_string(as.signed_sends) + " signed (" +
+                std::to_string(as.signed_reuses) + " fan-out reuses), " +
+                std::to_string(as.verified_eager + as.verified_batched) +
+                " verified";
+      if (opt.auth.batch_verify) {
+        timing += " in " + std::to_string(as.batches) + " batches";
+      }
+      timing += ", " +
+                std::to_string(as.rejected_bad_sig + as.rejected_malformed) +
+                " rejected, " + std::to_string(as.replays_dropped) +
+                " replays dropped";
+    }
+    if (run.equivocation_proof) {
+      abort_extra = "; transferable equivocation proof against provider p" +
+                    std::to_string(run.equivocation_proof->signer) +
+                    " on topic '" + run.equivocation_proof->topic + "'";
     }
     if (opt.trace) {
       std::printf("# trace not recorded via CLI runtime API; phase times:\n");
@@ -433,8 +514,8 @@ int main(int argc, char** argv) {
   }
 
   if (!outcome.ok()) {
-    std::printf("outcome: \xE2\x8A\xA5 (%s) — auction aborted, no payments\n",
-                abort_reason_name(outcome.bottom().reason));
+    std::printf("outcome: \xE2\x8A\xA5 (%s) — auction aborted, no payments%s\n",
+                abort_reason_name(outcome.bottom().reason), abort_extra.c_str());
     return 2;
   }
   std::printf("# distributed auctioneer: m=%zu k=%zu, %s\n", opt.providers, opt.k,
