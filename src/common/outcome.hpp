@@ -26,6 +26,7 @@ enum class AbortReason {
   kTimeout,                ///< runtime gave up waiting (test harness only)
   kCascaded,               ///< an earlier block aborted
   kDeliveryFailed,         ///< reliability layer exhausted its retransmits
+  kEventBudgetExceeded,    ///< scheduler event budget exhausted (runaway run)
 };
 
 /// Human-readable reason name (for logs and test failure messages).
@@ -42,6 +43,7 @@ constexpr const char* abort_reason_name(AbortReason r) {
     case AbortReason::kTimeout: return "timeout";
     case AbortReason::kCascaded: return "cascaded";
     case AbortReason::kDeliveryFailed: return "delivery-failed";
+    case AbortReason::kEventBudgetExceeded: return "event-budget-exceeded";
   }
   return "unknown";
 }

@@ -1,6 +1,9 @@
 #include "net/reliable.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "serde/codec.hpp"
 
 namespace dauct::net {
 
@@ -9,6 +12,15 @@ namespace {
 std::uint64_t cache_key(NodeId to, std::uint32_t topic) {
   return (static_cast<std::uint64_t>(to) << 32) | topic;
 }
+
+/// First byte of the link's wire header when piggybacked acks are on:
+///   0xAB ‖ varint count ‖ count × (str topic ‖ 32-byte digest) ‖ payload.
+/// Present on *every* provider-bound data frame (count may be 0), so the
+/// receiver never has to sniff — both ends share one ReliabilityConfig.
+constexpr std::uint8_t kLinkHeaderMagic = 0xAB;
+
+/// Defensive bound on carried ack entries (frames arrive from peers).
+constexpr std::uint64_t kMaxCarriedAcks = 4096;
 
 }  // namespace
 
@@ -42,7 +54,7 @@ void ReliableLink::send(NodeId to, const net::Topic& topic, SharedBytes payload)
     return;
   }
   // Every call reaching this point is an application-level logical message
-  // (retransmits and re-request answers go through base_ directly): record
+  // (retransmits and re-request answers re-enter at wire_send below): record
   // its key and flag reuse, the one pattern receiver dedup would misread.
   if (!bounded_insert(sent_keys_, sent_keys_order_,
                       MsgKey{to, topic.id(), payload_digest(payload)})) {
@@ -65,7 +77,38 @@ void ReliableLink::send(NodeId to, const net::Topic& topic, SharedBytes payload)
       }
     }
   }
-  base_.send(to, topic, std::move(payload));
+  wire_send(to, topic, payload);
+}
+
+void ReliableLink::wire_send(NodeId to, const net::Topic& topic,
+                             const SharedBytes& payload) {
+  if (!config_.piggyback_acks) {
+    base_.send(to, topic, payload);
+    return;
+  }
+  // Wrapping is config-driven only — never runtime state like the timer
+  // facility, which the receiving link cannot observe on the sender. On
+  // timerless endpoints acks go out standalone (queue_or_send_ack), so the
+  // header just carries an empty vector.
+  // The link header is the frame's last wrapper before the wire: signatures
+  // (and everything else above) cover the unwrapped payload, and the
+  // receiving link strips the header before the validator looks at it.
+  std::vector<PendingAck> acks;
+  if (const auto it = pending_acks_.find(to); it != pending_acks_.end()) {
+    acks = std::move(it->second);
+    pending_acks_.erase(it);
+  }
+  serde::Writer w(1 + serde::varint_len(acks.size()) + payload.size() +
+                  acks.size() * 48);
+  w.u8(kLinkHeaderMagic);
+  w.varint(acks.size());
+  for (const auto& a : acks) {
+    w.str(a.topic);
+    w.raw(BytesView(a.digest.data(), a.digest.size()));
+  }
+  stats_.acks_piggybacked += acks.size();
+  w.raw(payload.view());
+  base_.send(to, topic, SharedBytes(w.take()));
 }
 
 bool ReliableLink::schedule_retransmit(const MsgKey& key, std::size_t attempt) {
@@ -89,25 +132,70 @@ bool ReliableLink::schedule_retransmit(const MsgKey& key, std::size_t attempt) {
     }
     ++p.attempt;
     ++stats_.retransmits;
-    base_.send(p.to, p.topic, p.payload);
+    wire_send(p.to, p.topic, p.payload);
     schedule_retransmit(key, p.attempt);
   });
 }
 
-void ReliableLink::send_ack(const net::Message& msg) {
-  // Ack frame (docs/RELIABILITY.md): topic string ++ raw 32-byte payload
-  // digest. The fixed-size tail makes the split unambiguous without framing.
-  const std::string& topic = msg.topic.str();
-  const crypto::Digest digest = payload_digest(msg.payload);
+void ReliableLink::send_ack_frame(NodeId to, const std::string& topic,
+                                  const crypto::Digest& digest) {
+  // Standalone ack frame (docs/RELIABILITY.md): topic string ++ raw 32-byte
+  // payload digest. The fixed-size tail makes the split unambiguous without
+  // framing.
   Bytes ack;
   ack.reserve(topic.size() + digest.size());
   ack.insert(ack.end(), topic.begin(), topic.end());
   ack.insert(ack.end(), digest.begin(), digest.end());
   ++stats_.acks_sent;
-  base_.send(msg.from, ack_topic_, SharedBytes(std::move(ack)));
+  base_.send(to, ack_topic_, SharedBytes(std::move(ack)));
 }
 
-bool ReliableLink::on_deliver(const net::Message& msg) {
+void ReliableLink::queue_or_send_ack(const net::Message& msg) {
+  const std::string& topic = msg.topic.str();
+  const crypto::Digest digest = payload_digest(msg.payload);
+  if (!config_.piggyback_acks || !timers_available_) {
+    send_ack_frame(msg.from, topic, digest);
+    return;
+  }
+  // Queue the ack and arm the end-of-instant flush: any data frame to this
+  // peer sent from the current handler carries it for free (wire_send), and
+  // the flush timer — due at the handler's end, exactly when an immediate
+  // ack would have departed — sends the leftovers standalone. Same ack
+  // timing either way; fewer messages.
+  pending_acks_[msg.from].push_back(PendingAck{topic, digest});
+  if (!ack_flush_scheduled_) {
+    ack_flush_scheduled_ = true;
+    if (!base_.schedule_after(0, [this, weak = std::weak_ptr<int>(alive_)] {
+          if (weak.expired()) return;
+          flush_pending_acks();
+        })) {
+      // No timer facility after all: degrade to immediate standalone acks,
+      // starting with what was just queued.
+      timers_available_ = false;
+      ack_flush_scheduled_ = false;
+      flush_pending_acks();
+    }
+  }
+}
+
+void ReliableLink::flush_pending_acks() {
+  ack_flush_scheduled_ = false;
+  // Drain into a local list first (send_ack_frame goes through base_.send,
+  // and nothing below this layer may observe a half-drained queue), then
+  // send in peer order — not unordered_map order, which is a hash-table
+  // artifact the deterministic event stream must not depend on.
+  std::unordered_map<NodeId, std::vector<PendingAck>> pending;
+  pending.swap(pending_acks_);
+  std::vector<NodeId> peers;
+  peers.reserve(pending.size());
+  for (const auto& [to, acks] : pending) peers.push_back(to);
+  std::sort(peers.begin(), peers.end());
+  for (NodeId to : peers) {
+    for (const auto& a : pending[to]) send_ack_frame(to, a.topic, a.digest);
+  }
+}
+
+bool ReliableLink::on_deliver(net::Message& msg) {
   // Control frames name topics as strings chosen by the peer: resolve them
   // with a find-only registry query (Topic::lookup) — a name no local block
   // ever interned cannot match any pending entry or cached payload, so it
@@ -136,12 +224,35 @@ bool ReliableLink::on_deliver(const net::Message& msg) {
     if (const auto it = sent_cache_.find(cache_key(msg.from, topic->id()));
         it != sent_cache_.end()) {
       ++stats_.rerequests_answered;
-      base_.send(msg.from, *topic, it->second);
+      wire_send(msg.from, *topic, it->second);
     }
     return false;
   }
   if (msg.from >= m_) return true;  // client traffic: no acks, no dedup
-  send_ack(msg);  // ack every copy — a lost ack is recovered by the re-ack
+  if (config_.piggyback_acks) {
+    // Provider data frames arrive wrapped in the link header (wire_send):
+    // process the carried ack vector, then strip the header in place — an
+    // aliasing suffix view, no byte copy — so everything above this layer
+    // (validator, engine, dedup key) sees the logical payload.
+    serde::Reader r(msg.payload.view());
+    if (r.u8() != kLinkHeaderMagic) return false;  // malformed frame: drop
+    const std::uint64_t count = r.varint();
+    if (!r.ok() || count > kMaxCarriedAcks) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string_view topic_name = r.str_view();
+      const BytesView digest = r.raw_view(32);
+      if (!r.ok()) return false;
+      const auto topic = net::Topic::lookup(topic_name);
+      if (!topic) continue;  // ack for a topic nobody here ever sent
+      MsgKey key{msg.from, topic->id(), {}};
+      std::memcpy(key.digest.data(), digest.data(), 32);
+      unacked_.erase(key);  // redundant re-acks miss and are fine
+      ++stats_.acks_received;
+    }
+    msg.set_payload(
+        msg.payload.suffix(msg.payload.size() - r.remaining()));
+  }
+  queue_or_send_ack(msg);  // (re-)ack every copy — a lost ack is recovered by the re-ack
   if (!bounded_insert(seen_, seen_order_,
                       MsgKey{msg.from, msg.topic.id(), payload_digest(msg.payload)})) {
     ++stats_.duplicates_suppressed;

@@ -54,6 +54,19 @@ struct ReliabilityConfig {
   std::size_t max_retries = 6;       ///< retransmits before giving up
   sim::SimTime round_timeout = sim::from_millis(12);  ///< 0 = no watchdogs
 
+  /// Carry pending ack vectors on outgoing data frames instead of sending
+  /// each ack as its own message. On receipt of a data frame the ack is
+  /// queued; any data frame to that peer before the end-of-instant flush
+  /// timer carries the queue in a length-prefixed header (the frame's last
+  /// wire wrapper, below signatures), and only the leftovers go out as
+  /// standalone rl/ack frames. Same virtual-time ack instants — the flush
+  /// timer fires at the handler's end, exactly when the immediate ack would
+  /// have departed — so the protocol outcome is unchanged; the message count
+  /// drops. Both ends of a link must agree on this flag (one runtime config
+  /// sets every link's). Falls back to immediate standalone acks on
+  /// endpoints without a timer facility.
+  bool piggyback_acks = true;
+
   /// Bound on the receiver dedup set and the sender key history (entries,
   /// FIFO-evicted). Without a bound those sets grow with every distinct
   /// message for the lifetime of the link — a leak on long runs. Eviction
@@ -67,7 +80,8 @@ struct ReliabilityConfig {
 /// SimRunResult::reliability_stats).
 struct ReliabilityStats {
   std::uint64_t tracked = 0;                 ///< data sends under ack protection
-  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_sent = 0;               ///< standalone rl/ack frames
+  std::uint64_t acks_piggybacked = 0;        ///< ack entries carried on data frames
   std::uint64_t acks_received = 0;           ///< incl. redundant re-acks
   std::uint64_t retransmits = 0;
   std::uint64_t duplicates_suppressed = 0;   ///< copies hidden from the blocks
@@ -86,6 +100,7 @@ struct ReliabilityStats {
   ReliabilityStats& operator+=(const ReliabilityStats& o) {
     tracked += o.tracked;
     acks_sent += o.acks_sent;
+    acks_piggybacked += o.acks_piggybacked;
     acks_received += o.acks_received;
     retransmits += o.retransmits;
     duplicates_suppressed += o.duplicates_suppressed;
@@ -118,8 +133,11 @@ class ReliableLink final : public blocks::Endpoint {
 
   /// Inbound hook, called by the runtime before the engine sees a delivery.
   /// Returns true iff `msg` should reach the application: control traffic
-  /// (acks, re-requests) and deduplicated copies are consumed here.
-  bool on_deliver(const net::Message& msg);
+  /// (acks, re-requests) and deduplicated copies are consumed here. With
+  /// piggybacked acks on, the link's wire header is stripped from
+  /// `msg.payload` in place (an aliasing suffix view — no byte copy) before
+  /// the message continues up the chain.
+  bool on_deliver(net::Message& msg);
 
   void set_on_give_up(GiveUpFn fn) { on_give_up_ = std::move(fn); }
   const ReliabilityStats& stats() const { return stats_; }
@@ -155,7 +173,14 @@ class ReliableLink final : public blocks::Endpoint {
   /// Arm the next retransmit timer for `key`; false iff the wrapped
   /// endpoint has no timer facility.
   bool schedule_retransmit(const MsgKey& key, std::size_t attempt);
-  void send_ack(const net::Message& msg);
+  void queue_or_send_ack(const net::Message& msg);
+  void send_ack_frame(NodeId to, const std::string& topic,
+                      const crypto::Digest& digest);
+  /// Single wire-exit point for data frames (fresh sends, retransmits,
+  /// re-request answers): with piggybacking on, wraps `payload` in the
+  /// link header carrying `to`'s pending ack vector.
+  void wire_send(NodeId to, const net::Topic& topic, const SharedBytes& payload);
+  void flush_pending_acks();
 
   blocks::Endpoint& base_;
   ReliabilityConfig config_;
@@ -179,7 +204,20 @@ class ReliableLink final : public blocks::Endpoint {
   std::unordered_set<MsgKey, MsgKeyHash> sent_keys_;
   std::deque<MsgKey> sent_keys_order_;
   /// Last payload sent per (peer, topic id) — the re-request answer source.
+  /// Stores the *unwrapped* payload: every wire exit wraps afresh, so a
+  /// re-request answer carries the acks pending at answer time, and digests
+  /// stay consistent across original / retransmit / answer copies.
   std::unordered_map<std::uint64_t, SharedBytes> sent_cache_;
+
+  /// Acks owed per peer, awaiting a data frame to ride on (or the
+  /// end-of-instant flush). Only used with config_.piggyback_acks and a
+  /// working timer facility.
+  struct PendingAck {
+    std::string topic;       ///< round-topic name, as the ack frame carries it
+    crypto::Digest digest;
+  };
+  std::unordered_map<NodeId, std::vector<PendingAck>> pending_acks_;
+  bool ack_flush_scheduled_ = false;
 
   GiveUpFn on_give_up_;
   ReliabilityStats stats_;

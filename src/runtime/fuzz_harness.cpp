@@ -1,0 +1,337 @@
+#include "runtime/fuzz_harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "serde/ini_values.hpp"
+
+namespace dauct::runtime {
+
+namespace {
+
+/// The removable fault clauses of a scenario, flattened into one index
+/// space for ddmin: [links | cuts | partitions | crashes | deviations |
+/// auth_adversary]. The order is load-bearing only for determinism.
+struct ClausePool {
+  std::vector<sim::LinkFault> links;
+  std::vector<sim::LinkCut> cuts;
+  std::vector<sim::Partition> partitions;
+  std::vector<sim::CrashEvent> crashes;
+  std::vector<DeviationSpec> deviations;
+  bool has_adversary = false;
+  adversary::AuthAdversaryConfig adversary;
+
+  explicit ClausePool(const Scenario& sc)
+      : links(sc.faults.links),
+        cuts(sc.faults.cuts),
+        partitions(sc.faults.partitions),
+        crashes(sc.faults.crashes),
+        deviations(sc.deviations),
+        has_adversary(sc.auth_adversary.node != kNoNode),
+        adversary(sc.auth_adversary) {}
+
+  std::size_t size() const {
+    return links.size() + cuts.size() + partitions.size() + crashes.size() +
+           deviations.size() + (has_adversary ? 1 : 0);
+  }
+
+  /// `base` with only the clauses named by `keep` (sorted indices).
+  Scenario apply(const Scenario& base, const std::vector<std::size_t>& keep) const {
+    Scenario sc = base;
+    sc.faults.links.clear();
+    sc.faults.cuts.clear();
+    sc.faults.partitions.clear();
+    sc.faults.crashes.clear();
+    sc.deviations.clear();
+    sc.auth_adversary = {};
+    for (std::size_t i : keep) {
+      if (i < links.size()) {
+        sc.faults.links.push_back(links[i]);
+        continue;
+      }
+      i -= links.size();
+      if (i < cuts.size()) {
+        sc.faults.cuts.push_back(cuts[i]);
+        continue;
+      }
+      i -= cuts.size();
+      if (i < partitions.size()) {
+        sc.faults.partitions.push_back(partitions[i]);
+        continue;
+      }
+      i -= partitions.size();
+      if (i < crashes.size()) {
+        sc.faults.crashes.push_back(crashes[i]);
+        continue;
+      }
+      i -= crashes.size();
+      if (i < deviations.size()) {
+        sc.deviations.push_back(deviations[i]);
+        continue;
+      }
+      sc.auth_adversary = adversary;
+    }
+    return sc;
+  }
+};
+
+/// Textbook ddmin (Zeller & Hildebrandt) over clause indices: returns a
+/// 1-minimal subset for which `fails` still holds. `fails` must hold for the
+/// full set on entry.
+std::vector<std::size_t> ddmin(std::size_t n_clauses,
+                               const std::function<bool(const std::vector<std::size_t>&)>& fails) {
+  std::vector<std::size_t> cx(n_clauses);
+  for (std::size_t i = 0; i < n_clauses; ++i) cx[i] = i;
+  // The empty plan is a legal candidate too (the "violation" may not need
+  // any clause at all — the injected-oracle tests rely on this floor).
+  if (fails({})) return {};
+  std::size_t granularity = 2;
+  while (cx.size() >= 2) {
+    const std::size_t chunk = (cx.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    // Subsets first: can the failure live in one chunk alone?
+    for (std::size_t start = 0; start < cx.size() && !reduced; start += chunk) {
+      const std::size_t end = std::min(start + chunk, cx.size());
+      std::vector<std::size_t> subset(cx.begin() + start, cx.begin() + end);
+      if (subset.size() < cx.size() && fails(subset)) {
+        cx = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    // Complements: can one chunk be dropped?
+    for (std::size_t start = 0; start < cx.size() && !reduced; start += chunk) {
+      const std::size_t end = std::min(start + chunk, cx.size());
+      std::vector<std::size_t> rest;
+      rest.reserve(cx.size() - (end - start));
+      rest.insert(rest.end(), cx.begin(), cx.begin() + start);
+      rest.insert(rest.end(), cx.begin() + end, cx.end());
+      if (!rest.empty() && rest.size() < cx.size() && fails(rest)) {
+        cx = std::move(rest);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= cx.size()) break;
+      granularity = std::min(cx.size(), granularity * 2);
+    }
+  }
+  return cx;
+}
+
+/// Snap-halve a probability on the generator's 1e-4 grid; 0 when already at
+/// the floor (the caller skips the candidate — clause removal, not rate
+/// zeroing, is how a clause dies).
+double halve_rate(double v) {
+  const long long steps = std::llround(v * 1e4);
+  if (steps <= 1) return 0.0;
+  return static_cast<double>(steps / 2) * 1e-4;
+}
+
+/// Snap-halve a time on the microsecond grid.
+sim::SimTime halve_time(sim::SimTime v) {
+  if (v < 2000) return 0;
+  return (v / 2) / 1000 * 1000;
+}
+
+}  // namespace
+
+const char* fuzz_verdict_name(FuzzVerdict v) {
+  switch (v) {
+    case FuzzVerdict::kPass: return "pass";
+    case FuzzVerdict::kCleanFailed: return "clean-failed";
+    case FuzzVerdict::kWrongResult: return "wrong-result";
+    case FuzzVerdict::kBudgetExceeded: return "budget-exceeded";
+  }
+  return "?";
+}
+
+Scenario scenario_from_case(const sim::FuzzCase& c) {
+  Scenario sc;
+  sc.name = "fuzz-" + std::to_string(c.case_seed) + "-" + std::to_string(c.index);
+  sc.description = "generated by dauct_fuzz (case seed " +
+                   std::to_string(c.case_seed) + ", stream index " +
+                   std::to_string(c.index) + ")";
+  sc.users = c.users;
+  sc.providers = c.providers;
+  sc.k = c.k;
+  sc.seed = c.run_seed;
+  sc.latency = c.latency;
+  sc.max_events = c.max_events;
+  sc.faults = c.faults;
+  sc.reliability.enable = c.reliability;
+  if (c.reliability) {
+    sc.reliability.retransmit_delay = c.retransmit_delay;
+    sc.reliability.max_retries = c.max_retries;
+    sc.reliability.round_timeout = c.round_timeout;
+    sc.reliability.piggyback_acks = c.piggyback_acks;
+  }
+  sc.auth.enable = c.auth;
+  sc.auth.batch_verify = c.auth && c.auth_batch;
+  if (c.auth && c.auth_adversary_node != kNoNode) {
+    sc.auth_adversary.node = c.auth_adversary_node;
+    sc.auth_adversary.mode = c.auth_adversary_mode == "forge"
+                                 ? adversary::AuthTamperMode::kForge
+                                 : adversary::AuthTamperMode::kReplay;
+  }
+  for (const sim::FuzzCase::Deviation& d : c.deviations) {
+    sc.deviations.push_back(DeviationSpec{d.node, d.strategy, kZeroMoney});
+  }
+  return sc;
+}
+
+FuzzReport run_oracle(const Scenario& sc) {
+  FuzzReport report;
+  report.run = run_scenario(sc, /*force_clean_twin=*/true);
+  const ScenarioRun& r = report.run;
+  if (!r.clean || !r.clean->global_outcome.ok() || r.clean->stalled ||
+      r.clean->event_budget_exhausted) {
+    report.verdict = FuzzVerdict::kCleanFailed;
+    report.detail =
+        !r.clean ? "clean twin did not run"
+                 : "clean twin failed: " +
+                       (r.clean->global_outcome.ok()
+                            ? std::string("stalled")
+                            : std::string(abort_reason_name(
+                                  r.clean->global_outcome.bottom().reason)));
+    return report;
+  }
+  if (r.run.event_budget_exhausted) {
+    report.verdict = FuzzVerdict::kBudgetExceeded;
+    report.detail = "event budget exhausted with events still queued";
+    return report;
+  }
+  if (r.run.global_outcome.ok()) {
+    if (r.result_digest != r.clean_digest) {
+      report.verdict = FuzzVerdict::kWrongResult;
+      report.detail = "completed ok with digest " + r.result_digest +
+                      " != clean " + r.clean_digest;
+      return report;
+    }
+    report.verdict = FuzzVerdict::kPass;
+    report.detail = "ok, matches clean (" + r.result_digest + ")";
+    return report;
+  }
+  report.verdict = FuzzVerdict::kPass;
+  report.detail = std::string("explicit bottom: ") +
+                  abort_reason_name(r.run.global_outcome.bottom().reason);
+  return report;
+}
+
+FuzzVerdict default_oracle(const Scenario& sc) { return run_oracle(sc).verdict; }
+
+MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
+                        const FuzzOracle& oracle) {
+  MinimizeResult out;
+  const ClausePool pool(failing);
+  const auto fails = [&](const std::vector<std::size_t>& keep) {
+    ++out.probes;
+    return oracle(pool.apply(failing, keep)) == verdict;
+  };
+  const std::vector<std::size_t> kept = ddmin(pool.size(), fails);
+  out.removed = pool.size() - kept.size();
+  Scenario sc = pool.apply(failing, kept);
+
+  // Scalar shrinking to a fixpoint: each accepted step strictly reduces a
+  // clause scalar (or widens a window to the default full-run form), so the
+  // loop terminates and re-running minimize() on its own output is a no-op
+  // (idempotence, pinned by tests/fuzz_test.cpp).
+  const auto probe = [&](const Scenario& candidate) {
+    ++out.probes;
+    return oracle(candidate) == verdict;
+  };
+  const auto try_step = [&](Scenario& current, const std::function<void(Scenario&)>& step) {
+    Scenario candidate = current;
+    step(candidate);
+    if (probe(candidate)) {
+      current = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < sc.faults.links.size(); ++i) {
+      sim::LinkFault& f = sc.faults.links[i];
+      if (f.active_from != sim::kSimStart || f.active_until != sim::kSimForever) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].active_from = sim::kSimStart;
+          s.faults.links[i].active_until = sim::kSimForever;
+        });
+      }
+      if (halve_rate(f.drop) > 0.0) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].drop = halve_rate(s.faults.links[i].drop);
+        });
+      }
+      if (halve_rate(f.duplicate) > 0.0) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].duplicate = halve_rate(s.faults.links[i].duplicate);
+        });
+      }
+      if (f.extra_delay > 0) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].extra_delay = halve_time(s.faults.links[i].extra_delay);
+        });
+      }
+      if (f.jitter > 0) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].jitter = halve_time(s.faults.links[i].jitter);
+        });
+      }
+    }
+    for (std::size_t i = 0; i < sc.faults.cuts.size(); ++i) {
+      sim::LinkCut& cut = sc.faults.cuts[i];
+      if (cut.from != sim::kSimStart || cut.until != sim::kSimForever) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.cuts[i].from = sim::kSimStart;
+          s.faults.cuts[i].until = sim::kSimForever;
+        });
+      }
+    }
+    for (std::size_t i = 0; i < sc.faults.partitions.size(); ++i) {
+      sim::Partition& p = sc.faults.partitions[i];
+      if (p.from != sim::kSimStart || p.until != sim::kSimForever) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.partitions[i].from = sim::kSimStart;
+          s.faults.partitions[i].until = sim::kSimForever;
+        });
+      }
+    }
+    for (std::size_t i = 0; i < sc.faults.crashes.size(); ++i) {
+      sim::CrashEvent& crash = sc.faults.crashes[i];
+      if (crash.recover_at != sim::kSimForever) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.crashes[i].recover_at = sim::kSimForever;
+        });
+      }
+      if (crash.at > 0) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.crashes[i].at = halve_time(s.faults.crashes[i].at);
+        });
+      }
+    }
+  }
+  out.scenario = std::move(sc);
+  return out;
+}
+
+void pin_expectations(Scenario& sc, const FuzzReport& report) {
+  ScenarioExpect exp;  // start from scratch: only the oracle's observations
+  const SimRunResult& run = report.run.run;
+  if (run.global_outcome.ok()) {
+    exp.outcome = ScenarioExpect::Outcome::kOk;
+    // The violation IS the mismatch: pin it so the repro self-checks.
+    exp.matches_clean = report.run.result_digest == report.run.clean_digest;
+  } else {
+    exp.outcome = ScenarioExpect::Outcome::kBottom;
+    exp.abort_reason = abort_reason_name(run.global_outcome.bottom().reason);
+  }
+  sc.expect = exp;
+}
+
+}  // namespace dauct::runtime

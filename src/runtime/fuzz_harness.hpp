@@ -1,0 +1,82 @@
+// Runtime side of the fault-plan fuzzer (sim/fuzz.hpp): turn a generated
+// FuzzCase into a runnable Scenario, apply the safety oracle, and minimize
+// violations with delta debugging.
+//
+// The oracle is the paper's resilience claim, checked mechanically:
+//
+//   * The fault-free twin of every case must complete ok — it runs the same
+//     shape with no faults, so anything else is a generator or runtime bug
+//     (kCleanFailed), not a protocol finding.
+//   * A faulty run that completes ok must produce the clean twin's result,
+//     byte-for-byte (result digests) — the protocol may abort under faults,
+//     but it may never silently compute a different outcome (kWrongResult).
+//   * Any explicit ⊥ is an allowed outcome — EXCEPT ⊥ event-budget-exceeded,
+//     which means the run was still generating events when the hard budget
+//     cut it off: a liveness violation, since every recovery mechanism
+//     (retransmit chains, round watchdogs) is finite by construction
+//     (kBudgetExceeded).
+//
+// The minimizer is oracle-parameterized so tests can inject a known-bad
+// oracle and verify the machinery end-to-end without needing a real protocol
+// bug in the tree.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runtime/scenario.hpp"
+#include "sim/fuzz.hpp"
+
+namespace dauct::runtime {
+
+enum class FuzzVerdict {
+  kPass,            ///< ok ∧ matches clean, or an allowed explicit ⊥
+  kCleanFailed,     ///< the fault-free twin itself failed (harness bug)
+  kWrongResult,     ///< completed ok with a result ≠ the clean twin's
+  kBudgetExceeded,  ///< event budget exhausted: liveness violation
+};
+
+const char* fuzz_verdict_name(FuzzVerdict v);
+inline bool fuzz_violation(FuzzVerdict v) { return v != FuzzVerdict::kPass; }
+
+/// Build the runnable Scenario for a generated case. Pure data mapping; the
+/// scenario name encodes (case_seed, index) so any emitted repro names its
+/// origin.
+Scenario scenario_from_case(const sim::FuzzCase& c);
+
+/// One oracle evaluation: the faulty run, its forced clean twin, and the
+/// verdict.
+struct FuzzReport {
+  FuzzVerdict verdict = FuzzVerdict::kPass;
+  ScenarioRun run;      ///< includes the clean twin (always forced)
+  std::string detail;   ///< one human-readable line on the verdict
+};
+FuzzReport run_oracle(const Scenario& sc);
+
+/// Verdict-only oracle signature the minimizer probes with. The default
+/// oracle is run_oracle(); tests substitute a known-bad one.
+using FuzzOracle = std::function<FuzzVerdict(const Scenario&)>;
+FuzzVerdict default_oracle(const Scenario& sc);
+
+/// Delta-debugging minimization: ddmin over the scenario's fault clauses
+/// (link rules, cuts, partitions, crashes, deviations, the wire adversary),
+/// then scalar shrinking of the survivors' rates and times, iterated to a
+/// fixpoint. Every candidate is re-verified with `oracle`; a step is taken
+/// only if the exact `verdict` reproduces, so the result is a local minimum
+/// that still fails the same way. Deterministic: same input → same minimum
+/// (the oracle itself is deterministic at a fixed scenario seed).
+struct MinimizeResult {
+  Scenario scenario;        ///< locally minimal, verdict-preserving
+  std::size_t probes = 0;   ///< oracle evaluations spent
+  std::size_t removed = 0;  ///< fault clauses eliminated
+};
+MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
+                        const FuzzOracle& oracle);
+
+/// Pin the observed behavior into `sc`'s [expect] block so the emitted .scn
+/// is self-checking: `dauct_cli --scenario repro.scn` exits 0 exactly while
+/// the violation still reproduces (and fails loudly once the bug is fixed,
+/// prompting the scenario's retirement or re-pinning).
+void pin_expectations(Scenario& sc, const FuzzReport& report);
+
+}  // namespace dauct::runtime

@@ -10,35 +10,22 @@
 #include "serde/auction_codec.hpp"
 #include "serde/csv.hpp"
 #include "serde/ini.hpp"
+#include "serde/ini_values.hpp"
 
 namespace dauct::runtime {
 
 namespace {
 
 // --- Typed value parsing ---------------------------------------------------
+// Scalar grammar lives in serde/ini_values.hpp (shared with the fuzz-bounds
+// parser and the to_scn emitter); these aliases keep the section schemas
+// below readable.
 
-std::optional<std::uint64_t> to_u64(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
-  return static_cast<std::uint64_t>(v);
-}
-
-std::optional<double> to_double(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || !std::isfinite(v)) return std::nullopt;
-  return v;
-}
-
-std::optional<bool> to_bool(const std::string& s) {
-  if (s == "true" || s == "yes" || s == "1") return true;
-  if (s == "false" || s == "no" || s == "0") return false;
-  return std::nullopt;
-}
+const auto& to_u64 = serde::parse_u64;
+const auto& to_double = serde::parse_f64;
+const auto& to_bool = serde::parse_bool_word;
+const auto& to_time_ms = serde::parse_time_ms;
+const auto& to_probability = serde::parse_probability;
 
 /// Node field: a provider index, "client" (= providers, the client node of
 /// the sim deployment), or "any" (wildcard, link rules only).
@@ -48,22 +35,6 @@ std::optional<NodeId> to_node(const std::string& s, std::size_t providers) {
   const auto v = to_u64(s);
   if (!v || *v >= kNoNode) return std::nullopt;
   return static_cast<NodeId>(*v);
-}
-
-/// Milliseconds (decimal) → virtual nanoseconds. Values beyond the SimTime
-/// range clamp to kSimForever ("held for the whole run") instead of hitting
-/// llround's out-of-range UB.
-std::optional<sim::SimTime> to_time_ms(const std::string& s) {
-  const auto v = to_double(s);
-  if (!v || *v < 0) return std::nullopt;
-  if (*v >= static_cast<double>(sim::kSimForever) / 1e6) return sim::kSimForever;
-  return static_cast<sim::SimTime>(std::llround(*v * 1e6));
-}
-
-std::optional<double> to_probability(const std::string& s) {
-  const auto v = to_double(s);
-  if (!v || *v < 0.0 || *v > 1.0) return std::nullopt;
-  return v;
 }
 
 // --- Section schemas -------------------------------------------------------
@@ -123,6 +94,10 @@ bool parse_run_section(ParseCtx& ctx, const serde::IniSection& sec) {
         return ctx.bad_value(kv);
       }
       ctx.sc.latency = kv.value;
+    } else if (kv.key == "max_events") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);
+      ctx.sc.max_events = *v;
     } else {
       return ctx.unknown_key("run", kv);
     }
@@ -273,6 +248,13 @@ bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
       // 0 is the documented "watchdogs off" value — consistent with a
       // disabled layer, so it does not count as a dangling knob.
       knobs = knobs || *v != 0;
+    } else if (kv.key == "piggyback_acks") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.reliability.piggyback_acks = *v;
+      // true is the default — only turning the optimization *off* counts as
+      // a knob worth failing fast over on a disabled layer.
+      knobs = knobs || !*v;
     } else {
       return ctx.unknown_key("reliability", kv);
     }
@@ -438,6 +420,151 @@ const std::vector<std::string>& deviation_strategy_names() {
   return names;
 }
 
+std::string Scenario::to_scn() const {
+  // Emission rules that make to_scn a fixpoint of parse ∘ to_scn:
+  //  * keys whose value equals the parsed default are omitted;
+  //  * scalars use the canonical serde/ini_values.hpp formatters;
+  //  * sections appear in a fixed order (the parser accepts any order).
+  const Scenario defaults;
+  std::string out;
+  const auto node_str = [this](NodeId n) -> std::string {
+    if (n == kNoNode) return "any";
+    if (n == static_cast<NodeId>(providers)) return "client";
+    return std::to_string(n);
+  };
+  const auto kv = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  };
+  const auto time_kv = [&](const char* key, sim::SimTime v, sim::SimTime dflt) {
+    if (v != dflt) kv(key, serde::format_time_ms(v));
+  };
+
+  if (!name.empty() || !description.empty()) {
+    out += "[scenario]\n";
+    if (!name.empty()) kv("name", name);
+    if (!description.empty()) kv("description", description);
+    out += "\n";
+  }
+
+  out += "[run]\n";
+  if (auction != defaults.auction) kv("auction", auction);
+  kv("users", std::to_string(users));
+  kv("providers", std::to_string(providers));
+  kv("k", std::to_string(k));
+  if (epsilon != defaults.epsilon) kv("epsilon", serde::format_f64(epsilon));
+  kv("seed", std::to_string(seed));
+  if (latency != defaults.latency) kv("latency", latency);
+  if (max_events != defaults.max_events) {
+    kv("max_events", std::to_string(max_events));
+  }
+
+  if (!faults.empty() || faults.seed != defaults.faults.seed) {
+    out += "\n[fault]\n";
+    kv("seed", std::to_string(faults.seed));
+  }
+  for (const auto& r : faults.links) {
+    const sim::LinkFault d;
+    out += "\n[link]\n";
+    if (r.from != kNoNode) kv("from", node_str(r.from));
+    if (r.to != kNoNode) kv("to", node_str(r.to));
+    if (r.symmetric != d.symmetric) kv("symmetric", r.symmetric ? "true" : "false");
+    if (r.drop != 0.0) kv("drop", serde::format_f64(r.drop));
+    if (r.duplicate != 0.0) kv("duplicate", serde::format_f64(r.duplicate));
+    time_kv("delay_ms", r.extra_delay, 0);
+    time_kv("jitter_ms", r.jitter, 0);
+    time_kv("from_ms", r.active_from, sim::kSimStart);
+    time_kv("until_ms", r.active_until, sim::kSimForever);
+  }
+  for (const auto& c : faults.cuts) {
+    out += "\n[cut]\n";
+    kv("a", node_str(c.a));
+    kv("b", node_str(c.b));
+    time_kv("from_ms", c.from, sim::kSimStart);
+    time_kv("until_ms", c.until, sim::kSimForever);
+  }
+  for (const auto& p : faults.partitions) {
+    out += "\n[partition]\n";
+    std::string group;
+    for (NodeId n : p.group) {
+      if (!group.empty()) group += ", ";
+      group += node_str(n);
+    }
+    kv("group", group);
+    time_kv("from_ms", p.from, sim::kSimStart);
+    time_kv("until_ms", p.until, sim::kSimForever);
+  }
+  for (const auto& c : faults.crashes) {
+    out += "\n[crash]\n";
+    kv("node", node_str(c.node));
+    time_kv("at_ms", c.at, sim::kSimStart);
+    time_kv("recover_ms", c.recover_at, sim::kSimForever);
+  }
+
+  if (reliability.enable) {
+    const net::ReliabilityConfig d;
+    out += "\n[reliability]\n";
+    kv("enable", "true");
+    time_kv("retransmit_delay_ms", reliability.retransmit_delay, d.retransmit_delay);
+    if (reliability.max_retries != d.max_retries) {
+      kv("max_retries", std::to_string(reliability.max_retries));
+    }
+    time_kv("round_timeout_ms", reliability.round_timeout, d.round_timeout);
+    if (reliability.piggyback_acks != d.piggyback_acks) {
+      kv("piggyback_acks", reliability.piggyback_acks ? "true" : "false");
+    }
+  }
+  if (auth.enable) {
+    out += "\n[auth]\n";
+    kv("enable", "true");
+    if (auth.batch_verify) kv("batch", "true");
+  }
+  if (auth_adversary.mode != adversary::AuthTamperMode::kNone) {
+    out += "\n[auth_adversary]\n";
+    kv("node", node_str(auth_adversary.node));
+    kv("mode", auth_adversary.mode == adversary::AuthTamperMode::kForge
+                   ? "forge"
+                   : "replay");
+  }
+  for (const auto& dev : deviations) {
+    out += "\n[deviation]\n";
+    kv("node", node_str(dev.node));
+    kv("strategy", dev.strategy);
+    if (dev.fake_cost != kZeroMoney) kv("fake_cost", dev.fake_cost.str());
+  }
+
+  std::string exp;
+  const auto exp_kv = [&exp](const char* key, const std::string& value) {
+    exp += key;
+    exp += " = ";
+    exp += value;
+    exp += "\n";
+  };
+  if (expect.outcome != ScenarioExpect::Outcome::kUnspecified) {
+    exp_kv("outcome",
+           expect.outcome == ScenarioExpect::Outcome::kOk ? "ok" : "bottom");
+  }
+  if (expect.stalled) exp_kv("stalled", *expect.stalled ? "true" : "false");
+  if (expect.matches_clean) {
+    exp_kv("matches_clean", *expect.matches_clean ? "true" : "false");
+  }
+  if (expect.abort_reason) exp_kv("abort_reason", *expect.abort_reason);
+  if (expect.min_faults) exp_kv("min_faults", std::to_string(*expect.min_faults));
+  if (expect.min_auth_rejects) {
+    exp_kv("min_auth_rejects", std::to_string(*expect.min_auth_rejects));
+  }
+  if (expect.equivocation_proof) {
+    exp_kv("equivocation_proof", *expect.equivocation_proof ? "true" : "false");
+  }
+  if (!exp.empty()) {
+    out += "\n[expect]\n";
+    out += exp;
+  }
+  return out;
+}
+
 ScenarioParse parse_scenario(std::string_view text) {
   const serde::IniResult ini = serde::parse_ini(text);
   if (!ini.ok()) return {std::nullopt, ini.error};
@@ -547,7 +674,7 @@ ScenarioParse parse_scenario(std::string_view text) {
   return {std::move(ctx.sc), std::string()};
 }
 
-ScenarioRun run_scenario(const Scenario& scenario) {
+ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
   ScenarioRun out;
 
   crypto::Rng rng(scenario.seed);
@@ -581,6 +708,7 @@ ScenarioRun run_scenario(const Scenario& scenario) {
   cfg.seed = scenario.seed;
   cfg.latency = latency_by_name(scenario.latency);
   cfg.cost_mode = sim::CostMode::kZero;  // the run is a pure function of the file
+  cfg.max_events = scenario.max_events;
   cfg.faults = scenario.faults;
   cfg.reliability = scenario.reliability;
   cfg.auth = scenario.auth;
@@ -596,7 +724,7 @@ ScenarioRun run_scenario(const Scenario& scenario) {
   out.result_digest = digest_of(out.run);
 
   const ScenarioExpect& exp = scenario.expect;
-  if (exp.matches_clean.has_value()) {
+  if (exp.matches_clean.has_value() || force_clean_twin) {
     SimRunConfig clean_cfg = cfg;
     clean_cfg.faults.reset();
     clean_cfg.deviations.clear();

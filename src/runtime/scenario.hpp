@@ -66,6 +66,11 @@ struct Scenario {
   double epsilon = 0.1;              ///< standard auction approximation
   std::uint64_t seed = 1;            ///< workload + protocol seed
   std::string latency = "community"; ///< zero | lan | community
+  /// Hard scheduler event budget: the run is cut off with an explicit
+  /// ⊥ event-budget-exceeded when it dispatches this many events with the
+  /// queue still non-empty. Fuzzed plans run under a tight budget so a
+  /// pathological plan can hang neither the fuzzer nor CI.
+  std::uint64_t max_events = 50'000'000;
 
   sim::FaultPlan faults;
   net::ReliabilityConfig reliability;  ///< [reliability]; disabled by default
@@ -74,6 +79,12 @@ struct Scenario {
   adversary::AuthAdversaryConfig auth_adversary;
   std::vector<DeviationSpec> deviations;
   ScenarioExpect expect;
+
+  /// Serialize back to .scn text that re-parses to an equivalent scenario
+  /// (property-tested over every shipped scenario: to_scn is a fixpoint of
+  /// parse ∘ to_scn). Default-valued keys are omitted; this is the emitter
+  /// the fuzzer and the minimizer use to write committable repros.
+  std::string to_scn() const;
 };
 
 struct ScenarioParse {
@@ -97,7 +108,10 @@ struct ScenarioRun {
   bool ok() const { return failures.empty(); }
 };
 
-ScenarioRun run_scenario(const Scenario& scenario);
+/// Execute the scenario. The fault-free twin runs when an expectation
+/// compares against it or `force_clean_twin` is set (the fuzz oracle always
+/// needs the twin's digest, whatever the generated [expect] block says).
+ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin = false);
 
 /// Names accepted by [deviation] strategy= (for --help and error messages).
 const std::vector<std::string>& deviation_strategy_names();

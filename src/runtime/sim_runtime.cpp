@@ -184,16 +184,22 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   for (NodeId j = 0; j < m; ++j) {
     scheduler.set_deliver(j, [&, j](const net::Message& raw) {
       // The reliable link consumes its control traffic (acks, re-requests)
-      // and retransmitted duplicates before the engine can misread them.
-      if (net::ReliableLink* link = link_of[j]; link && !link->on_deliver(raw)) {
-        return;
+      // and retransmitted duplicates before the engine can misread them,
+      // and strips its wire header (piggybacked ack vectors) in place — the
+      // copy is an alias (refcounted payload), not a byte copy.
+      net::Message unwrapped;
+      const net::Message* carried = &raw;
+      if (net::ReliableLink* link = link_of[j]) {
+        unwrapped = raw;
+        if (!link->on_deliver(unwrapped)) return;
+        carried = &unwrapped;
       }
       // The validator then verifies and strips the signature header (auth on)
       // — rejected and replayed frames die here; equivocation aborts.
       net::Message verified;
-      const net::Message* delivered = &raw;
+      const net::Message* delivered = carried;
       if (net::MessageValidator* v = validator_of[j]) {
-        verified = raw;
+        verified = *carried;
         switch (v->on_deliver(verified)) {
           case net::MessageValidator::Action::kDrop:
             return;
@@ -285,6 +291,8 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   }
 
   SimRunResult result;
+  result.event_budget_exhausted = overflow;
+  result.events_dispatched = scheduler.events_dispatched();
   result.provider_outcomes.reserve(m);
   for (NodeId j = 0; j < m; ++j) {
     if (late_auth_abort[j]) {
@@ -292,6 +300,16 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
           auction::AuctionOutcome(*late_auth_abort[j]));
     } else if (engines[j]->done()) {
       result.provider_outcomes.push_back(*engines[j]->outcome());
+    } else if (overflow) {
+      // Distinct from a drained-queue stall: events were still pending when
+      // the budget ran out, i.e. the run was cut off, not out of moves. The
+      // fuzz oracle treats this ⊥ as a liveness violation (a plan that can
+      // spin past any budget must not pass as "explicit abort").
+      result.stalled = true;
+      result.provider_outcomes.push_back(auction::AuctionOutcome(Bottom{
+          AbortReason::kEventBudgetExceeded,
+          "event budget (" + std::to_string(config_.max_events) +
+              ") exhausted before the provider finished"}));
     } else {
       result.stalled = true;
       result.provider_outcomes.push_back(auction::AuctionOutcome(
@@ -379,16 +397,22 @@ SimRunResult SimRuntime::run_centralized(const core::CentralizedAuctioneer& auct
   scheduler.inject(sim::kSimStart,
                    net::Message{client, trusted, bids_topic, encode_submissions(subs)});
 
-  scheduler.run_some(config_.max_events);
+  const bool overflow = scheduler.run_some(config_.max_events);
 
   SimRunResult result;
+  result.event_budget_exhausted = overflow;
+  result.events_dispatched = scheduler.events_dispatched();
   if (result_value && client_got_result) {
     result.provider_outcomes.push_back(auction::AuctionOutcome(*result_value));
     result.makespan = client_done_at;
   } else {
     result.stalled = true;
     result.provider_outcomes.push_back(auction::AuctionOutcome(
-        Bottom{AbortReason::kTimeout, "centralized run never completed"}));
+        overflow ? Bottom{AbortReason::kEventBudgetExceeded,
+                          "event budget (" + std::to_string(config_.max_events) +
+                              ") exhausted before the run completed"}
+                 : Bottom{AbortReason::kTimeout,
+                          "centralized run never completed"}));
     result.makespan = scheduler.now();
   }
   result.global_outcome =

@@ -85,6 +85,15 @@ struct SimRunResult {
   /// cross-references all receivers' records (split equivocation).
   std::optional<net::EquivocationProof> equivocation_proof;
   bool stalled = false;  ///< some provider never finished (counts as ⊥)
+  /// The scheduler hit config.max_events with events still queued: the run
+  /// was cut off, not out of moves. Unfinished providers then carry
+  /// ⊥ event-budget-exceeded instead of ⊥ timeout; the fuzz oracle
+  /// (runtime/fuzz_harness.hpp) treats this flag as a liveness violation.
+  bool event_budget_exhausted = false;
+  /// Scheduler events dispatched by this run — what max_events bounds. Lets
+  /// callers (tests, the fuzzer) position a budget between a clean run's
+  /// appetite and a pathological one's.
+  std::uint64_t events_dispatched = 0;
   std::uint64_t shared_seed = 0;   ///< common-coin value (distributed runs)
 
   /// Phase breakdown (distributed runs): virtual time at which each provider

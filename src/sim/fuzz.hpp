@@ -1,0 +1,145 @@
+// Adversarial fault-plan fuzzer: seeded random sampling of FaultPlans (and
+// the optional reliability/auth/deviation knobs around them) within declared
+// bounds.
+//
+// The paper's resilience claim — the distributed auction matches the
+// fault-free outcome or aborts with an explicit ⊥ under up to k crashes and
+// byzantine deviations — is sampled by the hand-written scenarios; the
+// fuzzer *searches* for violations. PlanFuzzer only generates: it emits
+// plain-data FuzzCases (this layer sits below net/ and runtime/, so knobs
+// are plain fields, not net:: configs). The runtime-side harness
+// (runtime/fuzz_harness.hpp) turns a case into a runnable Scenario, applies
+// the safety oracle against the fault-free twin, and minimizes violations.
+//
+// Determinism contract:
+//  * The case stream is a pure function of the fuzzer seed: same seed ⇒
+//    byte-identical cases (pinned by tests/fuzz_test.cpp via to_scn text).
+//  * Each case draws from its own Rng(case_seed), with case_seed taken from
+//    the stream generator — so any single case is replayable standalone
+//    from (seed, index) without generating its predecessors' contents.
+//  * Generation honors k: crashed + deviant + wire-tampered providers are
+//    distinct and total at most k — beyond k the paper promises nothing,
+//    and an over-budget coalition could force a "wrong" result that is not
+//    a counterexample to anything.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "sim/fault.hpp"
+
+namespace dauct::sim {
+
+/// Declared sampling bounds. The defaults are the "default bounds" the CI
+/// smoke shard and the acceptance fuzz run use: small fast runs (a run plus
+/// its twin in a few milliseconds), rates high enough to exercise every
+/// recovery path, an event budget a healthy run stays far under.
+struct FuzzBounds {
+  // --- run shape ---
+  std::size_t min_users = 6, max_users = 20;
+  std::size_t min_providers = 3, max_providers = 7;
+  std::vector<std::string> latencies = {"zero", "lan", "community"};
+  /// Hard scheduler event budget per run (⊥ event-budget-exceeded beyond).
+  std::uint64_t max_events = 4'000'000;
+
+  // --- fault plan ---
+  std::size_t max_link_rules = 3;
+  double max_drop = 0.35;
+  double max_duplicate = 0.35;
+  SimTime max_delay = from_millis(20);
+  SimTime max_jitter = from_millis(10);
+  std::size_t max_cuts = 2;
+  std::size_t max_partitions = 1;
+  std::size_t max_crashes = 2;       ///< additionally capped by the sampled k
+  bool allow_crash_recover = true;
+  /// Fault windows (cuts, partitions, crash/recover instants, link
+  /// activity) are sampled within [0, horizon).
+  SimTime horizon = from_millis(150);
+
+  // --- optional layers ---
+  double p_reliability = 0.5;
+  double p_auth = 0.25;
+  double p_auth_batch = 0.5;         ///< given auth
+  double p_auth_adversary = 0.4;     ///< given auth and k budget left
+  double p_deviation = 0.35;         ///< at least one deviant, given k budget
+  /// Deviation strategy pool. Protocol-level deviations only: misreport-ask
+  /// is deliberately absent — lying about one's own cost is input
+  /// manipulation the mechanism prices in, so the run completes ok with a
+  /// legitimately different result and would false-positive the
+  /// matches-clean oracle.
+  std::vector<std::string> strategies = {
+      "corrupt-coin-reveal", "equivocate-votes",   "forge-task-results",
+      "forge-output-digest", "selective-silence",
+  };
+};
+
+/// Strict INI bounds-file parse (sections [shape] [faults] [knobs]; key
+/// reference in docs/FUZZING.md). Unknown keys, malformed values, and
+/// inconsistent ranges are errors.
+struct FuzzBoundsParse {
+  std::optional<FuzzBounds> bounds;
+  std::string error;
+  bool ok() const { return bounds.has_value(); }
+};
+FuzzBoundsParse parse_fuzz_bounds(std::string_view text);
+
+/// One generated case: everything the harness needs to build a Scenario.
+/// Plain data by design (see file comment).
+struct FuzzCase {
+  std::uint64_t index = 0;      ///< position in the stream
+  std::uint64_t case_seed = 0;  ///< the case is a pure function of this
+
+  std::size_t users = 0;
+  std::size_t providers = 0;
+  std::size_t k = 0;
+  std::uint64_t run_seed = 0;   ///< workload + protocol seed
+  std::string latency;
+  std::uint64_t max_events = 0;
+
+  FaultPlan faults;
+
+  bool reliability = false;
+  SimTime retransmit_delay = 0;
+  std::size_t max_retries = 0;
+  SimTime round_timeout = 0;
+  bool piggyback_acks = true;
+
+  bool auth = false;
+  bool auth_batch = false;
+  NodeId auth_adversary_node = kNoNode;
+  std::string auth_adversary_mode;  ///< "" | "forge" | "replay"
+
+  struct Deviation {
+    NodeId node = kNoNode;
+    std::string strategy;
+  };
+  std::vector<Deviation> deviations;
+};
+
+class PlanFuzzer {
+ public:
+  PlanFuzzer(FuzzBounds bounds, std::uint64_t seed);
+
+  /// The next case in the stream.
+  FuzzCase next();
+
+  /// The case at `index` of this fuzzer's stream, independent of the
+  /// current position (replays a reported case without regenerating its
+  /// predecessors' contents — only their seeds are drawn, one u64 each).
+  FuzzCase nth(std::uint64_t index) const;
+
+  const FuzzBounds& bounds() const { return bounds_; }
+
+ private:
+  FuzzCase generate(std::uint64_t index, std::uint64_t case_seed) const;
+
+  FuzzBounds bounds_;
+  std::uint64_t seed_;
+  crypto::Rng stream_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace dauct::sim

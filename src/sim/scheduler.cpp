@@ -176,6 +176,7 @@ void Scheduler::run() {
     // Advance the global clock *before* the event runs so handlers observe
     // the current virtual time through now().
     now_ = queue_.next_time();
+    ++events_dispatched_;
     queue_.run_next();
   }
 }
@@ -199,6 +200,7 @@ bool Scheduler::run_some(std::uint64_t max_events) {
   if (trace_enabled_) trace_.reserve(trace_.size() + queue_.size());
   for (std::uint64_t i = 0; i < max_events && !queue_.empty(); ++i) {
     now_ = queue_.next_time();
+    ++events_dispatched_;
     queue_.run_next();
   }
   return !queue_.empty();

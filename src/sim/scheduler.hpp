@@ -102,7 +102,14 @@ class Scheduler {
   void run();
 
   /// Run at most `max_events` events; returns true if events remain.
+  /// Overflow is the hard budget guard fuzzed plans run under: the caller
+  /// (runtime/sim_runtime.cpp) turns a true return into an explicit
+  /// ⊥ event-budget-exceeded instead of letting a pathological plan spin.
   bool run_some(std::uint64_t max_events);
+
+  /// Events dispatched over the scheduler's lifetime (deliveries + timers),
+  /// across run()/run_some() calls. Budget accounting for the fuzz oracle.
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
 
   SimTime clock(NodeId node) const { return clocks_.at(node); }
   SimTime now() const { return now_; }
@@ -156,6 +163,7 @@ class Scheduler {
   std::vector<DeliverFn> handlers_;
   std::vector<SimTime> node_delay_;
   SimTime now_ = kSimStart;
+  std::uint64_t events_dispatched_ = 0;
 
   // Handler-execution context.
   bool in_handler_ = false;

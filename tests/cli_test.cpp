@@ -20,8 +20,8 @@ struct CommandResult {
   std::string output;  ///< stdout + stderr, interleaved
 };
 
-CommandResult run_command(const std::string& args) {
-  const std::string cmd = std::string(DAUCT_CLI_PATH) + " " + args + " 2>&1";
+CommandResult run_binary(const char* binary, const std::string& args) {
+  const std::string cmd = std::string(binary) + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   CommandResult result;
@@ -33,6 +33,14 @@ CommandResult run_command(const std::string& args) {
   const int status = pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+CommandResult run_command(const std::string& args) {
+  return run_binary(DAUCT_CLI_PATH, args);
+}
+
+CommandResult run_fuzz(const std::string& args) {
+  return run_binary(DAUCT_FUZZ_PATH, args);
 }
 
 // Every flag the CLI parses. Mirrors parse_args() in tools/dauct_cli.cpp.
@@ -154,6 +162,27 @@ TEST(Cli, ScenarioWithMissingFileFails) {
   EXPECT_NE(r.output.find("cannot read"), std::string::npos);
 }
 
+TEST(Cli, FailingScenarioPrintsSeedAndOneLineReproCommand) {
+  // A clean run pinned to the wrong expectation: the failure report must
+  // carry everything needed to rerun the case — the fault-plan seed and the
+  // exact repro command line.
+  const std::string path = testing::TempDir() + "/expect_fails.scn";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("[run]\nusers = 6\nproviders = 3\nk = 1\nseed = 5\nlatency = zero\n"
+        "[fault]\nseed = 77\n"
+        "[expect]\noutcome = bottom\n",
+        f);
+  fclose(f);
+  const auto r = run_command("--scenario " + path);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("expectation FAILED"), std::string::npos);
+  EXPECT_NE(r.output.find("fault-plan seed: 77"), std::string::npos);
+  EXPECT_NE(r.output.find("repro: dauct_cli --scenario " + path),
+            std::string::npos);
+  remove(path.c_str());
+}
+
 TEST(Cli, ScenarioParseErrorIsReportedWithLine) {
   const std::string path = testing::TempDir() + "/bad_scenario.scn";
   FILE* f = fopen(path.c_str(), "w");
@@ -163,6 +192,51 @@ TEST(Cli, ScenarioParseErrorIsReportedWithLine) {
   const auto r = run_command("--scenario " + path);
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("line 2"), std::string::npos);
+  remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// dauct_fuzz (DAUCT_FUZZ_PATH) — the fault-plan fuzzer's CLI surface
+// ---------------------------------------------------------------------------
+
+// Every flag dauct_fuzz parses. Mirrors parse_args() in tools/dauct_fuzz.cpp.
+constexpr const char* kKnownFuzzFlags[] = {
+    "--plans", "--seed", "--index", "--bounds", "--minimize", "--out",
+    "--help",
+};
+
+TEST(Fuzz, HelpMentionsEveryParsedFlag) {
+  const auto r = run_fuzz("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag : kKnownFuzzFlags) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "flag " << flag << " is parsed but undocumented in --help";
+  }
+}
+
+TEST(Fuzz, UnknownFlagAndMissingValueFail) {
+  EXPECT_EQ(run_fuzz("--no-such-flag").exit_code, 1);
+  EXPECT_EQ(run_fuzz("--plans").exit_code, 1);
+  EXPECT_EQ(run_fuzz("--bounds /nonexistent/b.ini").exit_code, 1);
+}
+
+TEST(Fuzz, SmallFixedSeedRunPassesCleanly) {
+  const auto r = run_fuzz("--plans 5 --seed 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("5 plan(s) checked, 0 violation(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Fuzz, BadBoundsFileIsRejectedWithItsLine) {
+  const std::string path = testing::TempDir() + "/bad_bounds.ini";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("[faults]\nmax_drop = 1.5\n", f);
+  fclose(f);
+  const auto r = run_fuzz("--plans 1 --bounds " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("line 2"), std::string::npos) << r.output;
   remove(path.c_str());
 }
 

@@ -1,0 +1,380 @@
+// Fault-plan fuzzer tests (sim/fuzz.hpp + runtime/fuzz_harness.hpp).
+//
+// Four layers of guarantees:
+//  * generator — the case stream is a pure function of the seed (pinned as
+//    byte-identical .scn text), nth() replays any case standalone, every
+//    sampled case respects the declared bounds (including the k budget), and
+//    every case's scenario parses back through the strict .scn parser;
+//  * oracle — a clean case passes, a result-bending deviation is caught as
+//    wrong-result, a starved event budget is caught as budget-exceeded (and
+//    distinguished from the clean twin failing);
+//  * minimizer — an injected known-bad oracle is reduced to exactly its
+//    triggering clauses, the verdict is preserved at every step, and the
+//    minimizer is idempotent;
+//  * bounds files — the strict INI parser accepts overrides and rejects
+//    unknown keys and inconsistent ranges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/fuzz_harness.hpp"
+#include "sim/fuzz.hpp"
+
+namespace dauct {
+namespace {
+
+using runtime::FuzzVerdict;
+using runtime::Scenario;
+using sim::FuzzBounds;
+using sim::FuzzCase;
+using sim::PlanFuzzer;
+
+std::string scn_of(const FuzzCase& c) {
+  return runtime::scenario_from_case(c).to_scn();
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+TEST(PlanFuzzer, SameSeedYieldsByteIdenticalCaseStream) {
+  PlanFuzzer a(FuzzBounds{}, 42);
+  PlanFuzzer b(FuzzBounds{}, 42);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(scn_of(a.next()), scn_of(b.next())) << "stream diverged at " << i;
+  }
+  // And a different seed diverges somewhere early (overwhelming probability:
+  // every case embeds its own 64-bit run seed).
+  PlanFuzzer c(FuzzBounds{}, 43);
+  PlanFuzzer d(FuzzBounds{}, 42);
+  bool differs = false;
+  for (int i = 0; i < 5 && !differs; ++i) differs = scn_of(c.next()) != scn_of(d.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(PlanFuzzer, NthReplaysAnyCaseWithoutItsPredecessors) {
+  PlanFuzzer stream(FuzzBounds{}, 7);
+  std::vector<std::string> generated;
+  for (int i = 0; i < 10; ++i) generated.push_back(scn_of(stream.next()));
+  const PlanFuzzer replay(FuzzBounds{}, 7);
+  EXPECT_EQ(scn_of(replay.nth(9)), generated[9]);
+  EXPECT_EQ(scn_of(replay.nth(0)), generated[0]);
+  EXPECT_EQ(scn_of(replay.nth(4)), generated[4]);
+}
+
+TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
+  const FuzzBounds b;
+  PlanFuzzer fuzzer(b, 3);
+  for (int i = 0; i < 200; ++i) {
+    const FuzzCase c = fuzzer.next();
+    SCOPED_TRACE("case " + std::to_string(c.index));
+    EXPECT_GE(c.users, b.min_users);
+    EXPECT_LE(c.users, b.max_users);
+    EXPECT_GE(c.providers, b.min_providers);
+    EXPECT_LE(c.providers, b.max_providers);
+    EXPECT_GE(c.k, 1u);
+    EXPECT_GT(c.providers, 2 * c.k) << "m > 2k violated";
+    EXPECT_LE(c.faults.links.size(), b.max_link_rules);
+    for (const sim::LinkFault& f : c.faults.links) {
+      EXPECT_LE(f.drop, b.max_drop);
+      EXPECT_LE(f.duplicate, b.max_duplicate);
+      EXPECT_LE(f.extra_delay, b.max_delay);
+      EXPECT_LE(f.jitter, b.max_jitter);
+      EXPECT_TRUE(f.drop > 0 || f.duplicate > 0 || f.extra_delay > 0 ||
+                  f.jitter > 0)
+          << "no-op link rule generated";
+      EXPECT_LT(f.active_from, f.active_until);
+    }
+    EXPECT_LE(c.faults.cuts.size(), b.max_cuts);
+    EXPECT_LE(c.faults.partitions.size(), b.max_partitions);
+    EXPECT_LE(c.faults.crashes.size(), b.max_crashes);
+
+    // The k budget: crashed + deviant + wire-tampered providers are distinct
+    // and total at most k; crashes hit providers only.
+    std::set<NodeId> adversarial;
+    for (const sim::CrashEvent& cr : c.faults.crashes) {
+      EXPECT_LT(cr.node, c.providers) << "crashed a client";
+      EXPECT_LT(cr.at, cr.recover_at);
+      EXPECT_TRUE(adversarial.insert(cr.node).second) << "node hit twice";
+    }
+    for (const FuzzCase::Deviation& d : c.deviations) {
+      EXPECT_LT(d.node, c.providers);
+      EXPECT_TRUE(adversarial.insert(d.node).second) << "node hit twice";
+      EXPECT_TRUE(std::find(b.strategies.begin(), b.strategies.end(),
+                            d.strategy) != b.strategies.end());
+      EXPECT_NE(d.strategy, "misreport-ask")
+          << "input manipulation must stay out of the fuzz pool";
+    }
+    if (c.auth_adversary_node != kNoNode) {
+      EXPECT_TRUE(c.auth) << "wire adversary without the signing layer";
+      EXPECT_LT(c.auth_adversary_node, c.providers);
+      EXPECT_TRUE(adversarial.insert(c.auth_adversary_node).second);
+    }
+    EXPECT_LE(adversarial.size(), c.k) << "k budget exceeded";
+  }
+}
+
+TEST(PlanFuzzer, EveryGeneratedScenarioSurvivesTheStrictScnParser) {
+  PlanFuzzer fuzzer(FuzzBounds{}, 11);
+  for (int i = 0; i < 100; ++i) {
+    const FuzzCase c = fuzzer.next();
+    const std::string text = scn_of(c);
+    const runtime::ScenarioParse parsed = runtime::parse_scenario(text);
+    ASSERT_TRUE(parsed.ok()) << "case " << c.index << ": " << parsed.error
+                             << "\n--- emitted .scn ---\n" << text;
+    // And the round-trip is a fixpoint: emit(parse(emit(x))) == emit(x).
+    EXPECT_EQ(parsed.scenario->to_scn(), text) << "case " << c.index;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+/// A small fast scenario (zero latency, no faults) the oracle tests mutate.
+Scenario base_scenario() {
+  Scenario sc;
+  sc.name = "fuzz-oracle-base";
+  sc.users = 6;
+  sc.providers = 3;
+  sc.k = 1;
+  sc.seed = 5;
+  sc.latency = "zero";
+  return sc;
+}
+
+TEST(FuzzOracle, CleanCasePasses) {
+  const runtime::FuzzReport report = runtime::run_oracle(base_scenario());
+  EXPECT_EQ(report.verdict, FuzzVerdict::kPass) << report.detail;
+}
+
+TEST(FuzzOracle, ResultBendingDeviationIsCaughtAsWrongResult) {
+  // misreport-ask is deliberately excluded from the fuzz strategy pool
+  // because it legitimately completes ok with a different result — which is
+  // exactly what makes it the perfect probe that the matches-clean oracle
+  // would catch a silent wrong result.
+  Scenario sc = base_scenario();
+  sc.deviations.push_back(runtime::DeviationSpec{
+      0, "misreport-ask", Money::from_units(1'000'000)});
+  const runtime::FuzzReport report = runtime::run_oracle(sc);
+  EXPECT_EQ(report.verdict, FuzzVerdict::kWrongResult) << report.detail;
+}
+
+TEST(FuzzOracle, StarvedEventBudgetIsCaughtAsBudgetExceeded) {
+  // Position the budget between the clean run's appetite and the faulty
+  // run's: heavy duplication makes the faulty run strictly hungrier.
+  Scenario sc = base_scenario();
+  sim::LinkFault rule;
+  rule.duplicate = 1.0;
+  sc.faults.links.push_back(rule);
+
+  const runtime::ScenarioRun wide = runtime::run_scenario(sc, true);
+  ASSERT_TRUE(wide.clean.has_value());
+  const std::uint64_t clean_events = wide.clean->events_dispatched;
+  const std::uint64_t faulty_events = wide.run.events_dispatched;
+  ASSERT_GT(faulty_events, clean_events) << "duplication added no events?";
+
+  sc.max_events = clean_events + (faulty_events - clean_events) / 2;
+  const runtime::FuzzReport report = runtime::run_oracle(sc);
+  EXPECT_EQ(report.verdict, FuzzVerdict::kBudgetExceeded) << report.detail;
+
+  // Starve the clean twin too: that must be classified as the harness's own
+  // failure, never as a protocol liveness finding.
+  sc.max_events = clean_events / 2;
+  const runtime::FuzzReport starved = runtime::run_oracle(sc);
+  EXPECT_EQ(starved.verdict, FuzzVerdict::kCleanFailed) << starved.detail;
+}
+
+TEST(FuzzOracle, SmallDefaultBoundsSweepIsViolationFree) {
+  // A miniature of the CI smoke shard: the first few default-bounds cases
+  // must all pass the oracle (violations at default bounds are shipped as
+  // pinned repro scenarios, not left latent).
+  PlanFuzzer fuzzer(FuzzBounds{}, 1);
+  for (int i = 0; i < 4; ++i) {
+    const FuzzCase c = fuzzer.next();
+    const runtime::FuzzReport report =
+        runtime::run_oracle(runtime::scenario_from_case(c));
+    EXPECT_EQ(report.verdict, FuzzVerdict::kPass)
+        << "case " << c.index << " (seed " << c.case_seed
+        << "): " << runtime::fuzz_verdict_name(report.verdict) << " — "
+        << report.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer
+// ---------------------------------------------------------------------------
+
+/// Known-bad oracle: "fails" iff the plan still contains a crash of provider
+/// 0 AND at least one cut. Everything else in the plan is noise the
+/// minimizer must strip.
+FuzzVerdict crash0_and_cut_oracle(const Scenario& sc) {
+  bool crash0 = false;
+  for (const sim::CrashEvent& cr : sc.faults.crashes) {
+    if (cr.node == 0) crash0 = true;
+  }
+  return crash0 && !sc.faults.cuts.empty() ? FuzzVerdict::kWrongResult
+                                           : FuzzVerdict::kPass;
+}
+
+Scenario noisy_scenario() {
+  Scenario sc = base_scenario();
+  sc.faults.crashes.push_back(sim::CrashEvent{0, sim::from_millis(10)});
+  sc.faults.crashes.push_back(sim::CrashEvent{1, sim::from_millis(20)});
+  sc.faults.cuts.push_back(
+      sim::LinkCut{2, 5, sim::from_millis(1), sim::from_millis(9)});
+  sc.faults.cuts.push_back(sim::LinkCut{0, 1, sim::from_millis(3)});
+  sim::LinkFault noise;
+  noise.drop = 0.2;
+  sc.faults.links.push_back(noise);
+  sc.faults.partitions.push_back(
+      sim::Partition{{0, 1}, sim::from_millis(2), sim::from_millis(4)});
+  sc.deviations.push_back(runtime::DeviationSpec{2, "selective-silence"});
+  return sc;
+}
+
+TEST(FuzzMinimizer, InjectedBadOracleIsReducedToItsTriggeringClauses) {
+  const Scenario failing = noisy_scenario();
+  ASSERT_EQ(crash0_and_cut_oracle(failing), FuzzVerdict::kWrongResult);
+
+  const runtime::MinimizeResult min = runtime::minimize(
+      failing, FuzzVerdict::kWrongResult, crash0_and_cut_oracle);
+
+  // Locally minimal: exactly the crash-of-0 and one cut survive (≤ 3 active
+  // fault clauses, per the acceptance bar; here it is exactly 2).
+  EXPECT_EQ(min.scenario.faults.crashes.size(), 1u);
+  EXPECT_EQ(min.scenario.faults.crashes[0].node, 0u);
+  EXPECT_EQ(min.scenario.faults.cuts.size(), 1u);
+  EXPECT_TRUE(min.scenario.faults.links.empty());
+  EXPECT_TRUE(min.scenario.faults.partitions.empty());
+  EXPECT_TRUE(min.scenario.deviations.empty());
+  EXPECT_EQ(min.removed, 5u);
+  EXPECT_GT(min.probes, 0u);
+
+  // Soundness: the minimized plan still fails with the same verdict.
+  EXPECT_EQ(crash0_and_cut_oracle(min.scenario), FuzzVerdict::kWrongResult);
+
+  // Scalar shrinking ran too: the surviving crash instant was halved to the
+  // grid floor and the cut window widened to the whole-run default.
+  EXPECT_EQ(min.scenario.faults.crashes[0].at, 0);
+  EXPECT_EQ(min.scenario.faults.cuts[0].from, sim::kSimStart);
+  EXPECT_EQ(min.scenario.faults.cuts[0].until, sim::kSimForever);
+}
+
+TEST(FuzzMinimizer, MinimizationIsIdempotent) {
+  const runtime::MinimizeResult once = runtime::minimize(
+      noisy_scenario(), FuzzVerdict::kWrongResult, crash0_and_cut_oracle);
+  const runtime::MinimizeResult twice = runtime::minimize(
+      once.scenario, FuzzVerdict::kWrongResult, crash0_and_cut_oracle);
+  EXPECT_EQ(twice.scenario.to_scn(), once.scenario.to_scn());
+  EXPECT_EQ(twice.removed, 0u);
+}
+
+TEST(FuzzMinimizer, VerdictMismatchIsNeverAccepted) {
+  // An oracle whose verdict *changes* (rather than passes) when a clause is
+  // removed: the minimizer must keep the clause — reproducing a different
+  // failure is not reproducing the failure.
+  const auto shifting = [](const Scenario& sc) {
+    if (!sc.faults.crashes.empty() && !sc.faults.cuts.empty())
+      return FuzzVerdict::kWrongResult;
+    if (!sc.faults.crashes.empty()) return FuzzVerdict::kBudgetExceeded;
+    return FuzzVerdict::kPass;
+  };
+  Scenario sc = base_scenario();
+  sc.faults.crashes.push_back(sim::CrashEvent{1, 0});
+  sc.faults.cuts.push_back(sim::LinkCut{0, 1});
+  const runtime::MinimizeResult min =
+      runtime::minimize(sc, FuzzVerdict::kWrongResult, shifting);
+  EXPECT_EQ(min.scenario.faults.crashes.size(), 1u);
+  EXPECT_EQ(min.scenario.faults.cuts.size(), 1u);
+  EXPECT_EQ(shifting(min.scenario), FuzzVerdict::kWrongResult);
+}
+
+TEST(FuzzMinimizer, PinnedExpectationsMakeTheReproSelfChecking) {
+  // pin_expectations on a wrong-result report writes the observed mismatch
+  // into [expect]; running the pinned scenario then passes exactly while the
+  // violation reproduces.
+  Scenario sc = base_scenario();
+  sc.deviations.push_back(runtime::DeviationSpec{
+      0, "misreport-ask", Money::from_units(1'000'000)});
+  const runtime::FuzzReport report = runtime::run_oracle(sc);
+  ASSERT_EQ(report.verdict, FuzzVerdict::kWrongResult);
+
+  runtime::pin_expectations(sc, report);
+  EXPECT_EQ(sc.expect.outcome, runtime::ScenarioExpect::Outcome::kOk);
+  ASSERT_TRUE(sc.expect.matches_clean.has_value());
+  EXPECT_FALSE(*sc.expect.matches_clean);
+
+  const runtime::ScenarioRun rerun = runtime::run_scenario(sc);
+  EXPECT_TRUE(rerun.ok()) << (rerun.failures.empty() ? "" : rerun.failures[0]);
+
+  // The pinned text round-trips through the strict parser unchanged.
+  const runtime::ScenarioParse parsed = runtime::parse_scenario(sc.to_scn());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.scenario->to_scn(), sc.to_scn());
+}
+
+// ---------------------------------------------------------------------------
+// Bounds files
+// ---------------------------------------------------------------------------
+
+TEST(FuzzBoundsFile, OverridesParseAndApply) {
+  const sim::FuzzBoundsParse parsed = sim::parse_fuzz_bounds(R"(
+[shape]
+min_users = 4
+max_users = 8
+min_providers = 3
+max_providers = 5
+latencies = zero, lan
+max_events = 500000
+
+[faults]
+max_link_rules = 1
+max_drop = 0.5
+max_delay = 2.5
+max_crashes = 1
+allow_crash_recover = false
+horizon = 80
+
+[knobs]
+p_reliability = 1
+p_deviation = 0
+strategies = selective-silence
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const FuzzBounds& b = *parsed.bounds;
+  EXPECT_EQ(b.min_users, 4u);
+  EXPECT_EQ(b.max_users, 8u);
+  EXPECT_EQ(b.latencies, (std::vector<std::string>{"zero", "lan"}));
+  EXPECT_EQ(b.max_events, 500'000u);
+  EXPECT_EQ(b.max_link_rules, 1u);
+  EXPECT_DOUBLE_EQ(b.max_drop, 0.5);
+  EXPECT_EQ(b.max_delay, sim::from_micros(2'500));
+  EXPECT_FALSE(b.allow_crash_recover);
+  EXPECT_EQ(b.horizon, sim::from_millis(80));
+  EXPECT_DOUBLE_EQ(b.p_reliability, 1.0);
+  EXPECT_EQ(b.strategies, (std::vector<std::string>{"selective-silence"}));
+  // Untouched keys keep their defaults.
+  EXPECT_DOUBLE_EQ(b.max_duplicate, FuzzBounds{}.max_duplicate);
+}
+
+TEST(FuzzBoundsFile, RejectsUnknownKeysAndInconsistentRanges) {
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nmax_wombats = 3\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[wombats]\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nmax_drop = 0.1\n").ok())
+      << "a [faults] key must not be accepted under [shape]";
+  EXPECT_FALSE(
+      sim::parse_fuzz_bounds("[shape]\nmin_users = 9\nmax_users = 3\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nmin_providers = 2\n").ok())
+      << "m >= 3 is required for k >= 1";
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[faults]\nmax_drop = 1.5\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[faults]\nhorizon = 0\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nlatencies = warp\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[knobs]\np_auth = nope\n").ok());
+  // The empty text is the default bounds.
+  EXPECT_TRUE(sim::parse_fuzz_bounds("").ok());
+}
+
+}  // namespace
+}  // namespace dauct

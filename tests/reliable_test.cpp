@@ -42,11 +42,27 @@ struct LinkNet {
         ep1(scheduler, 1, 2, 101),
         link0(ep0, cfg),
         link1(ep1, cfg) {
+    // on_deliver strips the link wire header in place (aliasing copy, like
+    // the runtime's deliver hook), so the app vectors hold logical payloads.
     scheduler.set_deliver(0, [this](const net::Message& m) {
-      if (link0.on_deliver(m)) app0.push_back(m);
+      net::Message unwrapped = m;
+      if (link0.on_deliver(unwrapped)) app0.push_back(unwrapped);
     });
     scheduler.set_deliver(1, [this](const net::Message& m) {
-      if (link1.on_deliver(m)) app1.push_back(m);
+      net::Message unwrapped = m;
+      if (link1.on_deliver(unwrapped)) app1.push_back(unwrapped);
+    });
+  }
+
+  /// Make node 1 answer every delivered data frame by sending `reply` back
+  /// to the sender from inside the deliver handler — the pattern that lets
+  /// a queued ack ride the reply for free.
+  void reply_from_node1(const Bytes& reply) {
+    scheduler.set_deliver(1, [this, reply](const net::Message& m) {
+      net::Message unwrapped = m;
+      if (!link1.on_deliver(unwrapped)) return;
+      app1.push_back(unwrapped);
+      link1.send(unwrapped.from, "t/reply", SharedBytes(Bytes(reply)));
     });
   }
 };
@@ -208,6 +224,7 @@ TEST(ReliableLink, DegradesToFireAndForgetOverATimerlessEndpoint) {
   // pass through untracked, acks and dedup still function.
   net::ReliabilityConfig cfg;
   cfg.enable = true;
+  cfg.piggyback_acks = false;  // wire format exercised by the piggyback tests
   TimerlessEndpoint ep(2);
   net::ReliableLink link(ep, cfg);
 
@@ -218,7 +235,7 @@ TEST(ReliableLink, DegradesToFireAndForgetOverATimerlessEndpoint) {
   EXPECT_EQ(link.stats().tracked, 0u) << "untracked: nothing could retransmit";
 
   // Inbound data is still acked and deduplicated.
-  const net::Message data{1, 0, "t/data", SharedBytes(Bytes{9})};
+  net::Message data{1, 0, "t/data", SharedBytes(Bytes{9})};
   EXPECT_TRUE(link.on_deliver(data));
   EXPECT_FALSE(link.on_deliver(data));
   EXPECT_EQ(link.stats().acks_sent, 2u);
@@ -231,6 +248,7 @@ TEST(ReliableLink, DedupSetsAreBoundedByTheConfiguredWindow) {
   // of the link. Both are now FIFO-capped at dedup_window entries.
   net::ReliabilityConfig cfg;
   cfg.enable = true;
+  cfg.piggyback_acks = false;  // raw frames: wire format covered elsewhere
   cfg.dedup_window = 8;
   TimerlessEndpoint ep(2);
   net::ReliableLink link(ep, cfg);
@@ -276,6 +294,81 @@ TEST(ReliableLink, SenderKeyReuseIsCountedNotSilentlySwallowed) {
   link.send(1, "t/other", SharedBytes(Bytes{1, 2}));   // new topic: fine
   link.send(0, "t/data", SharedBytes(Bytes{1, 2}));    // new peer: fine
   EXPECT_EQ(link.stats().sender_key_reuses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Piggybacked ack vectors (link wire header)
+// ---------------------------------------------------------------------------
+
+TEST(PiggybackAcks, AckRidesAReplyDataFrameInsteadOfItsOwnMessage) {
+  // Node 1 replies to every delivery from inside the handler: the ack owed
+  // for the inbound frame must ride the reply's link header (count 1), and
+  // the end-of-instant flush then finds nothing left to send standalone.
+  LinkNet net(fast_config());
+  net.reply_from_node1(Bytes{0x42});
+  net.link0.send(1, "t/data", SharedBytes(Bytes{1, 2, 3}));
+  net.scheduler.run();
+
+  ASSERT_EQ(net.app1.size(), 1u);
+  EXPECT_EQ(net.app1[0].payload, (Bytes{1, 2, 3})) << "header not stripped";
+  ASSERT_EQ(net.app0.size(), 1u);
+  EXPECT_EQ(net.app0[0].payload, (Bytes{0x42}));
+  EXPECT_EQ(net.link1.stats().acks_piggybacked, 1u);
+  EXPECT_EQ(net.link1.stats().acks_sent, 0u)
+      << "the carried ack went out standalone anyway";
+  EXPECT_GE(net.link0.stats().acks_received, 1u) << "carried ack not processed";
+  // Node 0 has no data frame to carry its ack for the reply: standalone.
+  EXPECT_EQ(net.link0.stats().acks_sent, 1u);
+  EXPECT_EQ(net.link0.stats().give_ups, 0u);
+  EXPECT_EQ(net.link1.stats().give_ups, 0u);
+}
+
+TEST(PiggybackAcks, DisabledConfigSendsUnwrappedFramesAndStandaloneAcks) {
+  net::ReliabilityConfig cfg = fast_config();
+  cfg.piggyback_acks = false;
+  LinkNet net(cfg);
+  net.link0.send(1, "t/data", SharedBytes(Bytes{7}));
+  net.scheduler.run();
+
+  ASSERT_EQ(net.app1.size(), 1u);
+  EXPECT_EQ(net.app1[0].payload, (Bytes{7}));
+  EXPECT_EQ(net.link1.stats().acks_piggybacked, 0u);
+  EXPECT_EQ(net.link1.stats().acks_sent, 1u);
+  EXPECT_GE(net.link0.stats().acks_received, 1u);
+}
+
+TEST(PiggybackAcks, MalformedHeaderIsDroppedNotDelivered) {
+  // With piggybacking on, every provider data frame must carry the header;
+  // a frame without the magic (a peer on a mismatched config, or corruption)
+  // is dropped at the link rather than delivered with garbage acks parsed.
+  net::ReliabilityConfig cfg = fast_config();
+  cfg.piggyback_acks = true;
+  TimerlessEndpoint ep(2);
+  net::ReliableLink link(ep, cfg);
+
+  net::Message bare{1, 0, "t/data", SharedBytes(Bytes{9, 9, 9})};
+  EXPECT_FALSE(link.on_deliver(bare));
+  EXPECT_EQ(link.stats().duplicates_suppressed, 0u);
+}
+
+TEST(PiggybackAcks, TimerlessEndpointFallsBackToImmediateStandaloneAcks) {
+  // No timer facility: the end-of-instant flush cannot be scheduled, so the
+  // first queued ack degrades the link to immediate standalone acks — while
+  // inbound frames (wrapped by a config-matched peer) still unwrap fine.
+  net::ReliabilityConfig cfg;
+  cfg.enable = true;
+  TimerlessEndpoint ep(2);
+  net::ReliableLink link(ep, cfg);
+
+  // 0xAB ‖ varint 0 ‖ payload — a wrapped frame carrying no acks.
+  net::Message wrapped{1, 0, "t/data", SharedBytes(Bytes{0xAB, 0x00, 0x07})};
+  net::Message copy = wrapped;
+  EXPECT_TRUE(link.on_deliver(copy));
+  EXPECT_EQ(copy.payload, (Bytes{0x07})) << "header not stripped";
+  EXPECT_EQ(link.stats().acks_sent, 1u) << "fallback ack not sent immediately";
+  net::Message again = wrapped;
+  EXPECT_FALSE(link.on_deliver(again)) << "dedup must key the unwrapped payload";
+  EXPECT_EQ(link.stats().acks_sent, 2u) << "duplicates must be re-acked";
 }
 
 // ---------------------------------------------------------------------------
@@ -523,6 +616,38 @@ TEST(ReliableRecovery, LossyRunCompletesWithTheFaultFreeResult) {
   // Retransmits and re-request answers bypass the key history: even a lossy
   // run must not register application-level key reuse.
   EXPECT_EQ(run.reliability_stats.sender_key_reuses, 0u);
+}
+
+TEST(PiggybackAcks, LossyRunPinsTheGoldenDigestWithFewerStandaloneAcks) {
+  // The satellite claim, end-to-end: piggybacking on a lossy lan run changes
+  // only the message economy — the decided (x, p⃗) still matches the golden
+  // digest, and the standalone ack-frame count strictly drops because part
+  // of the ack volume rides data frames.
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  sim::FaultPlan plan;
+  plan.seed = 999;
+  sim::LinkFault rule;
+  rule.drop = 0.05;
+  rule.active_from = sim::from_micros(200);
+  plan.links.push_back(rule);
+
+  net::ReliabilityConfig on;
+  on.enable = true;
+  net::ReliabilityConfig off = on;
+  off.piggyback_acks = false;
+
+  const auto run_on = run_golden(g, plan, on);
+  const auto run_off = run_golden(g, plan, off);
+  ASSERT_TRUE(run_on.global_outcome.ok());
+  ASSERT_TRUE(run_off.global_outcome.ok());
+  EXPECT_EQ(digest_of(run_on), g.result_sha256);
+  EXPECT_EQ(digest_of(run_off), g.result_sha256);
+  EXPECT_GT(run_on.reliability_stats.acks_piggybacked, 0u)
+      << "no ack ever rode a data frame";
+  EXPECT_LT(run_on.reliability_stats.acks_sent,
+            run_off.reliability_stats.acks_sent)
+      << "piggybacking should reduce standalone ack traffic";
+  EXPECT_EQ(run_off.reliability_stats.acks_piggybacked, 0u);
 }
 
 TEST(ReliableRecovery, CrashRecoverMidRoundIsRecovered) {

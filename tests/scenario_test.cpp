@@ -247,6 +247,84 @@ TEST(ScenarioParse, ClientAndWildcardNodeNames) {
   EXPECT_EQ(p.scenario->faults.links[0].to, kNoNode);
 }
 
+TEST(ScenarioParse, MaxEventsKey) {
+  const auto p = runtime::parse_scenario(
+      "[run]\nproviders = 5\nk = 1\nmax_events = 123456\n");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.scenario->max_events, 123'456u);
+  // Absent: the generous default budget.
+  const auto q = runtime::parse_scenario("[run]\nproviders = 5\nk = 1\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.scenario->max_events, runtime::Scenario{}.max_events);
+  // Zero would make every run ⊥ event-budget-exceeded: rejected.
+  EXPECT_FALSE(
+      runtime::parse_scenario("[run]\nproviders = 5\nk = 1\nmax_events = 0\n")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// The .scn emitter (to_scn)
+// ---------------------------------------------------------------------------
+
+std::vector<std::filesystem::path> scenario_files();  // defined below
+
+TEST(ScenarioEmit, ToScnIsAFixpointOfParseOverTheFullSchema) {
+  // One pass through parse ∘ to_scn canonicalizes formatting (key order,
+  // float grammar); from then on the text must be stable: parse(to_scn(x))
+  // emits byte-identical text, and the reparse carries the same semantics.
+  const auto p1 = runtime::parse_scenario(kScenarioText);
+  ASSERT_TRUE(p1.ok()) << p1.error;
+  const std::string text2 = p1.scenario->to_scn();
+  const auto p2 = runtime::parse_scenario(text2);
+  ASSERT_TRUE(p2.ok()) << p2.error << "\n--- emitted ---\n" << text2;
+  EXPECT_EQ(p2.scenario->to_scn(), text2);
+
+  // Spot-check the semantics survived the trip.
+  EXPECT_EQ(p2.scenario->users, p1.scenario->users);
+  EXPECT_EQ(p2.scenario->k, p1.scenario->k);
+  ASSERT_EQ(p2.scenario->faults.links.size(), 1u);
+  EXPECT_DOUBLE_EQ(p2.scenario->faults.links[0].drop, 0.25);
+  EXPECT_EQ(p2.scenario->faults.links[0].active_until, sim::from_millis(20));
+  ASSERT_EQ(p2.scenario->deviations.size(), 1u);
+  EXPECT_EQ(p2.scenario->deviations[0].strategy, "equivocate-votes");
+  EXPECT_EQ(p2.scenario->expect.outcome,
+            runtime::ScenarioExpect::Outcome::kBottom);
+}
+
+TEST(ScenarioEmit, EveryShippedScenarioRoundTripsThroughToScn) {
+  for (const auto& path : scenario_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const auto text = testutil::slurp_file(path);
+    ASSERT_TRUE(text.has_value());
+    const auto p1 = runtime::parse_scenario(*text);
+    ASSERT_TRUE(p1.ok()) << p1.error;
+    const std::string text2 = p1.scenario->to_scn();
+    const auto p2 = runtime::parse_scenario(text2);
+    ASSERT_TRUE(p2.ok()) << p2.error << "\n--- emitted ---\n" << text2;
+    EXPECT_EQ(p2.scenario->to_scn(), text2) << "to_scn is not a fixpoint";
+  }
+}
+
+TEST(ScenarioEmit, ReparsedScenarioRunsIdenticallyToTheOriginal) {
+  // The emitter must not change what a scenario *does*: same outcome digest,
+  // makespan, and traffic on both sides of the round-trip. One representative
+  // (faulty, reliability-on) scenario keeps this fast.
+  const auto text = testutil::slurp_file(
+      std::filesystem::path(DAUCT_SCENARIO_DIR) / "dup_storm.scn");
+  ASSERT_TRUE(text.has_value());
+  const auto p1 = runtime::parse_scenario(*text);
+  ASSERT_TRUE(p1.ok()) << p1.error;
+  const auto p2 = runtime::parse_scenario(p1.scenario->to_scn());
+  ASSERT_TRUE(p2.ok()) << p2.error;
+
+  const auto a = runtime::run_scenario(*p1.scenario);
+  const auto b = runtime::run_scenario(*p2.scenario);
+  EXPECT_EQ(a.result_digest, b.result_digest);
+  EXPECT_EQ(a.run.makespan, b.run.makespan);
+  EXPECT_EQ(a.run.traffic.messages, b.run.traffic.messages);
+  EXPECT_EQ(a.run.traffic.bytes, b.run.traffic.bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------

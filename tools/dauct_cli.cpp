@@ -336,6 +336,12 @@ int run_scenario_file(const std::string& path) {
   for (const auto& f : run.failures) {
     std::printf("expectation FAILED: %s\n", f.c_str());
   }
+  // Everything a bug report needs on one screen: the fault-decision RNG
+  // stream the plan ran under, and the exact command that replays it (the
+  // run is a pure function of the file, so the file is the repro).
+  std::printf("fault-plan seed: %llu\n",
+              static_cast<unsigned long long>(sc.faults.seed));
+  std::printf("repro: dauct_cli --scenario %s\n", path.c_str());
   return 3;
 }
 
