@@ -41,6 +41,7 @@
 #include "runtime/sim_runtime.hpp"
 #include "serde/auction_codec.hpp"
 #include "serde/codec.hpp"
+#include "store/wal.hpp"
 #include "tinybench.hpp"
 
 namespace {
@@ -580,6 +581,54 @@ void BM_e2e_auth_batch(State& state) {
   }
 }
 TINYBENCH(BM_e2e_auth_batch)->Args({48, 4})->Args({128, 8});
+
+// Durability points (store/wal.hpp). BM_wal_append is the micro cost of one
+// journaled delivery: CRC-framed append of an n-byte message record plus its
+// share of a batch commit (one sync per 8 records, the runtime's default
+// snapshot cadence). BM_e2e_durable_clean is the same fault-free run as
+// BM_e2e_sim_distributed with the WAL on — the end-to-end price of
+// journaling every engine-consumed delivery (its cost when *disabled* is
+// pinned by the base point staying flat; byte-equivalence by
+// tests/durability_test.cpp). The ratio durable_clean / sim_distributed is
+// the durability overhead quoted in ROADMAP.md.
+void BM_wal_append(State& state) {
+  const std::size_t payload_len = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_len, 0xa5);
+  auto mem = std::make_shared<store::MemStorage>();
+  store::Wal wal(mem);
+  wal.open();
+  std::size_t since_commit = 0;
+  for (auto _ : state) {
+    wal.append_message_record(1, "blk/bids", BytesView(payload));
+    if (++since_commit == 8) {
+      wal.commit();
+      since_commit = 0;
+      mem->truncate(0);  // keep the buffer bounded across iterations
+    }
+    DoNotOptimize(wal.stats().records_appended);
+  }
+}
+TINYBENCH(BM_wal_append)->Arg(64)->Arg(1024);
+
+void BM_e2e_durable_clean(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  const auto inst = make_double_instance(users, m, 5);
+  for (auto _ : state) {
+    runtime::SimRunConfig cfg;
+    cfg.seed = 99;
+    cfg.wal.enable = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    DoNotOptimize(run.global_outcome.ok());
+  }
+}
+TINYBENCH(BM_e2e_durable_clean)->Args({48, 4})->Args({128, 8});
 
 // Solver-inclusive end-to-end point (the PR 2 trajectory number): the
 // ε-approximate standard auction through the full distributed protocol.

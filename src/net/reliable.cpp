@@ -60,7 +60,7 @@ void ReliableLink::send(NodeId to, const net::Topic& topic, SharedBytes payload)
                       MsgKey{to, topic.id(), payload_digest(payload)})) {
     ++stats_.sender_key_reuses;
   }
-  sent_cache_[cache_key(to, topic.id())] = payload;
+  sent_cache_[cache_key(to, topic.id())] = CachedSend{topic, payload};
   if (timers_available_) {
     const MsgKey key{to, topic.id(), payload_digest(payload)};
     const auto [it, inserted] = unacked_.emplace(key, Pending{to, topic, payload, 0});
@@ -216,6 +216,26 @@ bool ReliableLink::on_deliver(net::Message& msg) {
   if (msg.topic == rreq_topic_) {
     const BytesView v = msg.payload.view();
     if (v.empty()) return false;  // malformed re-request: drop
+    if (v.size() == 1 && v[0] == '*') {
+      // Rejoin sweep (request_rejoin): the peer lost its memory and asks for
+      // everything this link ever sent it. Answer the whole sent cache for
+      // that peer, in topic-id order — never hash-table order, which the
+      // deterministic event stream must not depend on. The recovered peer's
+      // restored dedup set swallows what its WAL already had.
+      std::vector<const CachedSend*> entries;
+      for (const auto& [key, cached] : sent_cache_) {
+        if (static_cast<NodeId>(key >> 32) == msg.from) entries.push_back(&cached);
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const CachedSend* a, const CachedSend* b) {
+                  return a->topic.id() < b->topic.id();
+                });
+      for (const CachedSend* cached : entries) {
+        ++stats_.rejoin_answers;
+        wire_send(msg.from, cached->topic, cached->payload);
+      }
+      return false;
+    }
     const auto topic = net::Topic::lookup(
         std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
     if (!topic) return false;  // unknown round topic: nothing cached anyway
@@ -224,7 +244,7 @@ bool ReliableLink::on_deliver(net::Message& msg) {
     if (const auto it = sent_cache_.find(cache_key(msg.from, topic->id()));
         it != sent_cache_.end()) {
       ++stats_.rerequests_answered;
-      wire_send(msg.from, *topic, it->second);
+      wire_send(msg.from, *topic, it->second.payload);
     }
     return false;
   }
@@ -259,6 +279,29 @@ bool ReliableLink::on_deliver(net::Message& msg) {
     return false;
   }
   return true;
+}
+
+void ReliableLink::restore_delivered(const net::Message& msg) {
+  // Same key the live path inserts after header-stripping: the WAL logs the
+  // engine-facing payload, so the digests line up. Client traffic is outside
+  // the dedup domain live, and stays outside here.
+  if (msg.from >= m_) return;
+  if (bounded_insert(seen_, seen_order_,
+                     MsgKey{msg.from, msg.topic.id(), payload_digest(msg.payload)})) {
+    ++stats_.restored_delivered;
+  }
+}
+
+void ReliableLink::request_rejoin() {
+  // Not routed through send(): the sweep is its own fire-and-forget protocol
+  // step with its own counter, and must not perturb rerequests_sent (pinned
+  // by scenario fingerprints on non-recovery runs).
+  const SharedBytes star{Bytes{std::uint8_t{'*'}}};
+  for (NodeId p = 0; p < static_cast<NodeId>(m_); ++p) {
+    if (p == base_.self()) continue;
+    ++stats_.rejoin_requests_sent;
+    base_.send(p, rreq_topic_, star);
+  }
 }
 
 bool ReliableLink::bounded_insert(std::unordered_set<MsgKey, MsgKeyHash>& set,

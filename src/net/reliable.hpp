@@ -87,6 +87,9 @@ struct ReliabilityStats {
   std::uint64_t duplicates_suppressed = 0;   ///< copies hidden from the blocks
   std::uint64_t rerequests_sent = 0;         ///< round-watchdog re-requests
   std::uint64_t rerequests_answered = 0;     ///< answered from the sent cache
+  std::uint64_t rejoin_requests_sent = 0;    ///< "*" sweeps after a recovery
+  std::uint64_t rejoin_answers = 0;          ///< frames re-sent for a "*" sweep
+  std::uint64_t restored_delivered = 0;      ///< dedup keys rebuilt from a WAL
   std::uint64_t give_ups = 0;                ///< messages abandoned after max_retries
   std::uint64_t dedup_evictions = 0;         ///< keys FIFO-evicted at the bound
   /// Application-level sends that reused an already-sent (peer, topic,
@@ -106,6 +109,9 @@ struct ReliabilityStats {
     duplicates_suppressed += o.duplicates_suppressed;
     rerequests_sent += o.rerequests_sent;
     rerequests_answered += o.rerequests_answered;
+    rejoin_requests_sent += o.rejoin_requests_sent;
+    rejoin_answers += o.rejoin_answers;
+    restored_delivered += o.restored_delivered;
     give_ups += o.give_ups;
     dedup_evictions += o.dedup_evictions;
     sender_key_reuses += o.sender_key_reuses;
@@ -138,6 +144,25 @@ class ReliableLink final : public blocks::Endpoint {
   /// `msg.payload` in place (an aliasing suffix view — no byte copy) before
   /// the message continues up the chain.
   bool on_deliver(net::Message& msg);
+
+  /// Recovery support (store/wal.hpp; sequence in docs/DURABILITY.md):
+  /// record a message a *previous incarnation* of this node already consumed
+  /// — the key goes straight into the receiver dedup set, with no ack and no
+  /// forwarding — so that post-recovery wire duplicates (peer retransmits,
+  /// the node's own replayed broadcasts echoed back by nobody, rejoin-sweep
+  /// answers) are suppressed instead of reaching the fresh engine twice.
+  /// `msg` must be the engine-facing form the WAL logged (headers stripped).
+  /// Client traffic (from outside the provider domain) is not deduplicated
+  /// on the live path, so it is not restored either.
+  void restore_delivered(const net::Message& msg);
+
+  /// Broadcast the rejoin sweep: a re-request with the wildcard payload "*"
+  /// to every other provider, asking each to re-send everything in its sent
+  /// cache addressed to this node. Peers that predate the wildcard treat it
+  /// as an unknown topic name and drop it — the sweep degrades, never harms.
+  /// Called once after a WAL replay; the replayed engine's own re-sends and
+  /// round watchdogs cover whatever the sweep cannot.
+  void request_rejoin();
 
   void set_on_give_up(GiveUpFn fn) { on_give_up_ = std::move(fn); }
   const ReliabilityStats& stats() const { return stats_; }
@@ -203,11 +228,17 @@ class ReliableLink final : public blocks::Endpoint {
   /// receiver dedup would silently swallow (stats_.sender_key_reuses).
   std::unordered_set<MsgKey, MsgKeyHash> sent_keys_;
   std::deque<MsgKey> sent_keys_order_;
-  /// Last payload sent per (peer, topic id) — the re-request answer source.
-  /// Stores the *unwrapped* payload: every wire exit wraps afresh, so a
-  /// re-request answer carries the acks pending at answer time, and digests
-  /// stay consistent across original / retransmit / answer copies.
-  std::unordered_map<std::uint64_t, SharedBytes> sent_cache_;
+  /// Last payload sent per (peer, topic id) — the re-request answer source
+  /// and, swept whole, the rejoin answer source. Stores the *unwrapped*
+  /// payload: every wire exit wraps afresh, so a re-request answer carries
+  /// the acks pending at answer time, and digests stay consistent across
+  /// original / retransmit / answer copies. The Topic rides along because a
+  /// rejoin sweep must reconstruct frames from the id-keyed cache alone.
+  struct CachedSend {
+    net::Topic topic;
+    SharedBytes payload;
+  };
+  std::unordered_map<std::uint64_t, CachedSend> sent_cache_;
 
   /// Acks owed per peer, awaiting a data frame to ride on (or the
   /// end-of-instant flush). Only used with config_.piggyback_acks and a

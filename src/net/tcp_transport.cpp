@@ -152,11 +152,27 @@ bool TcpNode::send(Message msg) {
   }
   const Bytes frame = encode_frame(msg);
   if (!write_all(it->second, frame.data(), frame.size())) {
+    // The cached connection died (peer restarted, RST in flight): retry once
+    // over a fresh one before reporting failure.
     ::close(it->second);
     out_fds_.erase(it);
-    return false;
+    const int fd = connect_to(to);
+    if (fd < 0) return false;
+    if (!write_all(fd, frame.data(), frame.size())) {
+      ::close(fd);
+      return false;
+    }
+    out_fds_.emplace(to, fd);
   }
   return true;
+}
+
+void TcpNode::reset_peer(NodeId peer) {
+  std::lock_guard lock(out_mutex_);
+  const auto it = out_fds_.find(peer);
+  if (it == out_fds_.end()) return;
+  ::close(it->second);
+  out_fds_.erase(it);
 }
 
 void TcpNode::shutdown() {

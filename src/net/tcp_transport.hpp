@@ -41,9 +41,18 @@ class TcpNode {
   TcpNode(const TcpNode&) = delete;
   TcpNode& operator=(const TcpNode&) = delete;
 
-  /// Send a frame to `msg.to` (connects lazily). Returns false if the
-  /// connection could not be established or the write failed.
+  /// Send a frame to `msg.to` (connects lazily). A failed write on a cached
+  /// connection is retried once over a fresh connection — a restarted peer
+  /// leaves the old socket half-dead, and the kernel only reports that on
+  /// the write after the RST. Returns false if no connection could be
+  /// established or both writes failed.
   bool send(Message msg);
+
+  /// Drop the cached outbound connection to `peer` (the next send
+  /// reconnects). Called when the peer is known to have restarted — writes
+  /// into the pre-restart socket would be silently swallowed until the RST
+  /// arrives, and the first frames lost.
+  void reset_peer(NodeId peer);
 
   /// Inbound messages land here.
   Mailbox& inbox() { return inbox_; }

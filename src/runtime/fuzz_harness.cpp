@@ -169,6 +169,8 @@ Scenario scenario_from_case(const sim::FuzzCase& c) {
     sc.reliability.round_timeout = c.round_timeout;
     sc.reliability.piggyback_acks = c.piggyback_acks;
   }
+  sc.wal.enable = c.wal;
+  if (c.wal) sc.wal.snapshot_every = c.wal_snapshot_every;
   sc.auth.enable = c.auth;
   sc.auth.batch_verify = c.auth && c.auth_batch;
   if (c.auth && c.auth_adversary_node != kNoNode) {
@@ -304,9 +306,21 @@ MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
     }
     for (std::size_t i = 0; i < sc.faults.crashes.size(); ++i) {
       sim::CrashEvent& crash = sc.faults.crashes[i];
+      // Simplify amnesia to plain crash-recover first: if the failure
+      // survives without the WAL-replay machinery, the repro shouldn't
+      // drag it in.
+      if (crash.mode == sim::CrashMode::kAmnesia) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.crashes[i].mode = sim::CrashMode::kRecover;
+        });
+      }
       if (crash.recover_at != sim::kSimForever) {
+        // A crash that never recovers cannot be amnesia (the .scn validator
+        // rejects mode=amnesia without recover_ms), so widening the down
+        // window to forever resets the mode too.
         changed |= try_step(sc, [i](Scenario& s) {
           s.faults.crashes[i].recover_at = sim::kSimForever;
+          s.faults.crashes[i].mode = sim::CrashMode::kRecover;
         });
       }
       if (crash.at > 0) {

@@ -215,11 +215,21 @@ bool parse_crash_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_time_ms(kv.value);
       if (!v) return ctx.bad_value(kv);
       (kv.key == "at_ms" ? crash.at : crash.recover_at) = *v;
+    } else if (kv.key == "mode") {
+      if (kv.value == "recover") crash.mode = sim::CrashMode::kRecover;
+      else if (kv.value == "amnesia") crash.mode = sim::CrashMode::kAmnesia;
+      else return ctx.bad_value(kv);
     } else {
       return ctx.unknown_key("crash", kv);
     }
   }
   if (!have_node) return ctx.fail(sec.line, "[crash] needs a 'node'");
+  if (crash.mode == sim::CrashMode::kAmnesia &&
+      crash.recover_at == sim::kSimForever) {
+    return ctx.fail(sec.line,
+                    "[crash] mode=amnesia needs recover_ms (a node that never "
+                    "restarts has nothing to recover)");
+  }
   ctx.sc.faults.crashes.push_back(crash);
   return true;
 }
@@ -265,6 +275,32 @@ bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
     return ctx.fail(sec.line,
                     "[reliability] sets tuning knobs without enable=true; "
                     "they would silently do nothing");
+  }
+  return true;
+}
+
+bool parse_wal_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  bool knobs = false;  // any key besides enable
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "enable") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.wal.enable = *v;
+    } else if (kv.key == "snapshot_every") {
+      const auto v = to_u64(kv.value);  // 0 = no snapshots (documented)
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.wal.snapshot_every = static_cast<std::size_t>(*v);
+      knobs = true;
+    } else {
+      return ctx.unknown_key("wal", kv);
+    }
+  }
+  // Same fail-fast contract as [reliability]: tuning knobs on a disabled
+  // layer would silently do nothing (no WAL is constructed).
+  if (knobs && !ctx.sc.wal.enable) {
+    return ctx.fail(sec.line,
+                    "[wal] sets tuning knobs without enable=true; they would "
+                    "silently do nothing");
   }
   return true;
 }
@@ -501,6 +537,7 @@ std::string Scenario::to_scn() const {
     kv("node", node_str(c.node));
     time_kv("at_ms", c.at, sim::kSimStart);
     time_kv("recover_ms", c.recover_at, sim::kSimForever);
+    if (c.mode == sim::CrashMode::kAmnesia) kv("mode", "amnesia");
   }
 
   if (reliability.enable) {
@@ -514,6 +551,14 @@ std::string Scenario::to_scn() const {
     time_kv("round_timeout_ms", reliability.round_timeout, d.round_timeout);
     if (reliability.piggyback_acks != d.piggyback_acks) {
       kv("piggyback_acks", reliability.piggyback_acks ? "true" : "false");
+    }
+  }
+  if (wal.enable) {
+    const store::WalConfig d;
+    out += "\n[wal]\n";
+    kv("enable", "true");
+    if (wal.snapshot_every != d.snapshot_every) {
+      kv("snapshot_every", std::to_string(wal.snapshot_every));
     }
   }
   if (auth.enable) {
@@ -587,6 +632,7 @@ ScenarioParse parse_scenario(std::string_view text) {
     else if (sec.name == "partition") ok = parse_partition_section(ctx, sec);
     else if (sec.name == "crash") ok = parse_crash_section(ctx, sec);
     else if (sec.name == "reliability") ok = parse_reliability_section(ctx, sec);
+    else if (sec.name == "wal") ok = parse_wal_section(ctx, sec);
     else if (sec.name == "auth") ok = parse_auth_section(ctx, sec);
     else if (sec.name == "auth_adversary") ok = parse_auth_adversary_section(ctx, sec);
     else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
@@ -671,6 +717,22 @@ ScenarioParse parse_scenario(std::string_view text) {
   for (const auto& c : ctx.sc.faults.crashes) {
     if (auto err = check_node(c.node, "crash")) return {std::nullopt, *err};
   }
+  // Amnesia recovery replays durable state and closes the gap over the
+  // reliability layer's re-request path: without both, the "recovered" node
+  // would silently come back empty — a config mistake, not a request.
+  for (const auto& c : ctx.sc.faults.crashes) {
+    if (c.mode != sim::CrashMode::kAmnesia) continue;
+    if (!ctx.sc.wal.enable) {
+      return {std::nullopt,
+              "[crash] mode=amnesia requires [wal] enable=true (there is no "
+              "durable state to recover from)"};
+    }
+    if (!ctx.sc.reliability.enable) {
+      return {std::nullopt,
+              "[crash] mode=amnesia requires [reliability] enable=true (the "
+              "rejoin sweep runs over the re-request path)"};
+    }
+  }
   return {std::move(ctx.sc), std::string()};
 }
 
@@ -711,6 +773,7 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
   cfg.max_events = scenario.max_events;
   cfg.faults = scenario.faults;
   cfg.reliability = scenario.reliability;
+  cfg.wal = scenario.wal;
   cfg.auth = scenario.auth;
   cfg.auth_adversary = scenario.auth_adversary;
   std::vector<NodeId> coalition;
@@ -728,7 +791,7 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
     SimRunConfig clean_cfg = cfg;
     clean_cfg.faults.reset();
     clean_cfg.deviations.clear();
-    clean_cfg.auth_adversary = {};  // the twin keeps auth, loses the attacker
+    clean_cfg.auth_adversary = {};  // the twin keeps auth (and wal), loses the attacker
     out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
     out.clean_digest = digest_of(*out.clean);
   }

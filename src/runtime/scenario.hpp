@@ -6,6 +6,7 @@
 //   [scenario] name/description   [run] auction/users/providers/k/seed/...
 //   [fault]    fault RNG seed     [link] [cut] [partition] [crash]  (repeat)
 //   [reliability] ack/retransmit layer knobs (net/reliable.hpp)
+//   [wal]      durable provider state (store/wal.hpp; amnesia recovery)
 //   [deviation] byzantine provider strategies (adversary/provider_deviation)
 //   [expect]   self-checking assertions (outcome, stall, matches_clean, ...)
 //
@@ -75,6 +76,9 @@ struct Scenario {
   sim::FaultPlan faults;
   net::ReliabilityConfig reliability;  ///< [reliability]; disabled by default
   net::AuthConfig auth;                ///< [auth]; disabled by default
+  /// [wal]: durable provider state (store/wal.hpp); disabled by default.
+  /// Required (with [reliability]) by any [crash] with mode=amnesia.
+  store::WalConfig wal;
   /// [auth_adversary]: wire-level forge/replay injection (needs [auth]).
   adversary::AuthAdversaryConfig auth_adversary;
   std::vector<DeviationSpec> deviations;

@@ -30,6 +30,7 @@
 #include "net/reliable.hpp"
 #include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
+#include "store/wal.hpp"
 
 namespace dauct::runtime {
 
@@ -66,6 +67,15 @@ struct SimRunConfig {
   /// provider's outgoing edge.
   adversary::AuthAdversaryConfig auth_adversary;
 
+  /// Durable provider state (store/wal.hpp): every engine-consumed delivery
+  /// is appended to a per-provider write-ahead log *before* dispatch, and an
+  /// amnesia crash (sim::CrashMode::kAmnesia) recovers by rebuilding the
+  /// node's whole chain and replaying the log. Disabled (the default)
+  /// constructs nothing — byte-identical to the pre-WAL runtime,
+  /// golden-pinned. In the simulator the log lives in MemStorage: the
+  /// "disk" survives the crashed "process" deterministically.
+  store::WalConfig wal;
+
   /// Safety valve against runaway simulations.
   std::uint64_t max_events = 50'000'000;
 };
@@ -78,6 +88,7 @@ struct SimRunResult {
   sim::FaultStats fault_stats;     ///< zeros unless a fault plan was installed
   net::ReliabilityStats reliability_stats;  ///< summed over links; zeros when off
   net::AuthStats auth_stats;  ///< signing-layer counters; zeros when off
+  store::WalStats wal_stats;  ///< write-ahead-log counters; zeros when off
 
   /// Transferable evidence of equivocation (net/auth.hpp), when the signing
   /// layer saw one: either assembled by a receiver that observed both

@@ -1,15 +1,45 @@
 #include "runtime/tcp_runtime.hpp"
 
+#include <cstdlib>
 #include <thread>
 
 #include "common/log.hpp"
+#include "crypto/sha256.hpp"
 #include "serde/auction_codec.hpp"
+#include "serde/codec.hpp"
 
 namespace dauct::runtime {
 
 namespace {
 constexpr const char* kBidsTopic = "client/bids";
 constexpr const char* kResultTopic = "client/result";
+/// Broadcast by the client once all m reports are in: every provider
+/// process may exit. Never journaled (it is not engine input).
+constexpr const char* kShutdownTopic = "client/shutdown";
+
+/// Provider `node`'s endpoint RNG seed: the (node+1)-th draw of the shared
+/// seeder stream — identical across the in-process cluster and any set of
+/// one-node processes started with the same run seed, which is what makes a
+/// restarted provider's replay (and its re-sent frames) byte-exact.
+std::uint64_t endpoint_seed_of(std::uint64_t run_seed, NodeId node) {
+  crypto::Rng seeder(run_seed ^ 0x7c9ULL);
+  std::uint64_t seed = 0;
+  for (NodeId j = 0; j <= node; ++j) seed = seeder.next_u64();
+  return seed;
+}
+
+/// The result report payload, byte-identical to the sim runtime's (the
+/// client digests it; the WAL's kOutcome decision digests the same bytes).
+Bytes encode_result_report(const auction::AuctionOutcome& out) {
+  serde::Writer w;
+  w.boolean(out.ok());
+  if (out.ok()) {
+    w.bytes(serde::encode_result(out.value()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(out.bottom().reason));
+  }
+  return w.take();
+}
 }  // namespace
 
 TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auctioneer,
@@ -110,6 +140,317 @@ TcpRunResult TcpRuntime::run_distributed(const core::DistributedAuctioneer& auct
   }
   result.global_outcome =
       core::combine_outcomes(std::span(result.provider_outcomes));
+  return result;
+}
+
+TcpProviderResult run_tcp_provider(const core::DistributedAuctioneer& auctioneer,
+                                   const auction::AuctionInstance& instance,
+                                   NodeId node, const TcpNodeConfig& config) {
+  TcpProviderResult result;
+  const std::size_t m = auctioneer.spec().m;
+  const NodeId client = static_cast<NodeId>(m);
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
+  const net::Topic shutdown_topic(kShutdownTopic);
+  const net::Topic rreq_topic(net::kRetransmitRequestTopicName);
+  const std::uint64_t endpoint_seed = endpoint_seed_of(config.seed, node);
+
+  // --- Durable state, opened BEFORE any socket is bound: a refused WAL must
+  // fail fast without ever joining the cluster.
+  std::unique_ptr<store::Wal> wal;
+  std::vector<store::WalRecord> recovered;
+  if (!config.wal_dir.empty()) {
+    const std::string path =
+        config.wal_dir + "/provider-" + std::to_string(node) + ".wal";
+    auto storage = store::FileStorage::open(path);
+    if (!storage) {
+      result.error = "cannot open wal file " + path;
+      return result;
+    }
+    wal = std::make_unique<store::Wal>(std::move(storage));
+    store::WalScan scan = wal->open();
+    store::WalMeta expected;
+    expected.run_seed = config.seed;
+    expected.node = node;
+    expected.providers = m;
+    expected.users = instance.bids.size();
+    expected.k = auctioneer.spec().k;
+    expected.endpoint_seed = endpoint_seed;
+    if (scan.records.empty()) {
+      const Bytes enc = store::encode_meta(expected);
+      wal->append(store::RecordType::kMeta, BytesView(enc));
+      wal->commit();
+    } else {
+      // Restart: the log must name THIS run and THIS node, or replaying it
+      // would silently diverge — refuse foreign state instead.
+      const auto meta = scan.records[0].type == store::RecordType::kMeta
+                            ? store::decode_meta(BytesView(scan.records[0].payload))
+                            : std::nullopt;
+      if (!meta) {
+        result.error = "wal recovery refused: " + path + " has no meta record";
+        return result;
+      }
+      std::string why;
+      if (!store::meta_matches(*meta, expected, &why)) {
+        result.error = "wal recovery refused: " + path + ": " + why;
+        return result;
+      }
+      recovered = std::move(scan.records);
+    }
+  }
+
+  net::TcpPeers peers;
+  peers.base_port = config.base_port;
+  net::TcpNode tcp(node, peers);
+  net::TcpEndpoint endpoint(tcp, m, endpoint_seed);
+  // The reliability layer degrades to timerless over TCP (no retransmits),
+  // but its receiver dedup, sent cache, re-request answering, and the rejoin
+  // sweep are exactly the recovery machinery a restart needs. Immediate
+  // standalone acks: no timer to flush a piggyback queue.
+  net::ReliabilityConfig rcfg;
+  rcfg.enable = true;
+  rcfg.piggyback_acks = false;
+  net::ReliableLink link(endpoint, rcfg);
+  const std::unique_ptr<core::ProviderEngine> engine = auctioneer.make_engine(
+      link, node < instance.asks.size() ? instance.asks[node]
+                                        : auction::Ask{node, {}, {}});
+
+  bool started = false, bids_agreed = false, reported = false;
+  bool replaying = false;
+
+  const auto journal_decision = [&](store::DecisionKind kind, bool ok,
+                                    const crypto::Digest& digest) {
+    if (!wal || replaying) return;
+    store::Decision d;
+    d.kind = kind;
+    d.ok = ok;
+    d.digest = digest;
+    const Bytes enc = store::encode_decision(d);
+    wal->append(store::RecordType::kDecision, BytesView(enc));
+    wal->commit();
+  };
+
+  const auto note_progress = [&] {
+    if (!bids_agreed && engine->agreed_bids().has_value()) {
+      bids_agreed = true;
+      serde::Writer w;
+      const auto& bids = *engine->agreed_bids();
+      w.varint(bids.size());
+      for (const auto& b : bids) serde::write_bid(w, b);
+      const Bytes enc = w.take();
+      journal_decision(store::DecisionKind::kBidsAgreed, true,
+                       crypto::sha256(BytesView(enc)));
+    }
+    if (engine->done() && !reported) {
+      reported = true;
+      const auto& out = *engine->outcome();
+      Bytes payload = encode_result_report(out);
+      journal_decision(store::DecisionKind::kOutcome, out.ok(),
+                       crypto::sha256(BytesView(payload)));
+      tcp.send(net::Message{node, client, result_topic,
+                            SharedBytes(std::move(payload))});
+    }
+  };
+
+  /// Engine dispatch shared by live deliveries and WAL replay: the replayed
+  /// run re-executes the same code over the same bytes.
+  const auto dispatch = [&](const net::Message& msg) {
+    if (msg.topic == bids_topic) {
+      auto bids = serde::decode_bid_vector(msg.payload.view());
+      if (bids && !started) {
+        started = true;
+        journal_decision(store::DecisionKind::kStarted, true,
+                         net::payload_digest(msg.payload));
+        engine->start(*bids);
+      }
+    } else {
+      engine->on_message(msg);
+    }
+    note_progress();
+  };
+
+  const auto maybe_snapshot = [&] {
+    if (!wal || config.snapshot_every == 0) return;
+    if (wal->message_records() % config.snapshot_every != 0) return;
+    store::Snapshot s;
+    s.messages_delivered = wal->message_records();
+    s.started = started;
+    s.bids_agreed = engine->agreed_bids().has_value();
+    s.done = engine->done();
+    const Bytes enc = store::encode_snapshot(s);
+    wal->append(store::RecordType::kSnapshot, BytesView(enc));
+    wal->commit();
+  };
+
+  // --- Recovery: replay the log through the real dispatch path, then sweep.
+  if (!recovered.empty()) {
+    result.recovered = true;
+    replaying = true;
+    std::uint64_t replayed = 0;
+    for (const store::WalRecord& rec : recovered) {
+      if (rec.type == store::RecordType::kMessage) {
+        auto lm = store::decode_message(BytesView(rec.payload));
+        if (!lm) continue;
+        net::Message msg{lm->from, node, net::Topic(lm->topic),
+                         SharedBytes(std::move(lm->payload))};
+        // The key first, the engine second: post-recovery wire duplicates of
+        // everything in the log must be swallowed, not re-delivered.
+        link.restore_delivered(msg);
+        dispatch(msg);
+        ++replayed;
+        ++wal->stats().messages_replayed;
+      } else if (rec.type == store::RecordType::kSnapshot) {
+        const auto snap = store::decode_snapshot(BytesView(rec.payload));
+        ++wal->stats().snapshots_checked;
+        if (!snap || snap->messages_delivered != replayed ||
+            snap->started != started ||
+            snap->bids_agreed != engine->agreed_bids().has_value() ||
+            snap->done != engine->done()) {
+          ++wal->stats().snapshot_mismatches;
+          DAUCT_WARN("tcp provider " << node
+                                     << ": wal snapshot mismatch at record "
+                                     << replayed);
+        }
+      }
+    }
+    replaying = false;
+    // Ask every peer to re-send its cached frames for this node — the
+    // messages the dead incarnation never received have no other source
+    // (no retransmit timers over TCP).
+    link.request_rejoin();
+  }
+
+  // --- Live traffic until the client calls the run over (or timeout).
+  const auto deadline = std::chrono::steady_clock::now() + config.timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+    auto popped = tcp.inbox().pop_for(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!popped) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        result.timed_out = true;
+        break;
+      }
+      continue;
+    }
+    net::Message msg = std::move(*popped);
+    if (msg.topic == shutdown_topic) break;
+    // A wildcard re-request announces a restarted peer: our cached outbound
+    // socket predates its rebirth, and writes into it would be silently
+    // swallowed until the RST — reset before the link answers the sweep.
+    if (msg.topic == rreq_topic && msg.payload.view().size() == 1 &&
+        msg.payload.view()[0] == '*') {
+      tcp.reset_peer(msg.from);
+    }
+    if (!link.on_deliver(msg)) continue;
+    if (wal) {
+      // Write-ahead: the delivery is durable before the engine consumes it.
+      wal->append_message_record(msg.from, msg.topic.str(),
+                                 BytesView(msg.payload));
+      wal->commit();
+      if (config.crash_after != 0 &&
+          wal->message_records() == config.crash_after) {
+        // The fault hook: a real kill, not an exception — destructors do not
+        // run, sockets die with the process, only the WAL survives.
+        DAUCT_WARN("tcp provider " << node << ": crash-after hook, _exit(137)");
+        std::_Exit(137);
+      }
+    }
+    dispatch(msg);
+    maybe_snapshot();
+  }
+
+  tcp.shutdown();
+  result.outcome = engine->done()
+                       ? *engine->outcome()
+                       : auction::AuctionOutcome(Bottom{
+                             AbortReason::kTimeout, "tcp provider stall"});
+  if (wal) result.wal_stats = wal->stats();
+  result.reliability_stats = link.stats();
+  return result;
+}
+
+TcpClientResult run_tcp_client(const auction::AuctionInstance& instance,
+                               std::size_t providers,
+                               const TcpNodeConfig& config) {
+  TcpClientResult result;
+  const std::size_t m = providers;
+  const NodeId client = static_cast<NodeId>(m);
+  const net::Topic bids_topic(kBidsTopic);
+  const net::Topic result_topic(kResultTopic);
+  const net::Topic shutdown_topic(kShutdownTopic);
+
+  net::TcpPeers peers;
+  peers.base_port = config.base_port;
+  net::TcpNode tcp(client, peers);
+  const auto deadline = std::chrono::steady_clock::now() + config.timeout;
+
+  // Submit the batch; keep trying per provider until its listener is up.
+  const SharedBytes bid_payload(serde::encode_bid_vector(instance.bids));
+  std::vector<bool> submitted(m, false);
+  std::size_t submissions = 0;
+  while (submissions < m && std::chrono::steady_clock::now() < deadline) {
+    for (NodeId j = 0; j < static_cast<NodeId>(m); ++j) {
+      if (submitted[j]) continue;
+      if (tcp.send(net::Message{client, j, bids_topic, bid_payload})) {
+        submitted[j] = true;
+        ++submissions;
+      }
+    }
+    if (submissions < m) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (submissions < m) {
+    result.timed_out = true;
+    result.error = "bid submission timed out";
+    tcp.shutdown();
+    return result;
+  }
+
+  // Await one report per provider; all must agree byte-for-byte.
+  std::vector<bool> seen(m, false);
+  std::size_t reports = 0;
+  std::string digest;
+  bool all_ok = true;
+  while (reports < m) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      result.timed_out = true;
+      result.error = "awaited " + std::to_string(m) + " reports, got " +
+                     std::to_string(reports);
+      break;
+    }
+    auto msg = tcp.inbox().pop_for(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!msg || msg->topic != result_topic) continue;
+    if (msg->from >= m || seen[msg->from]) continue;  // duplicate-safe
+    seen[msg->from] = true;
+    ++reports;
+    serde::Reader r(msg->payload.view());
+    if (!r.boolean()) all_ok = false;
+    const std::string d =
+        crypto::digest_hex(crypto::sha256(msg->payload.view()));
+    if (digest.empty()) {
+      digest = d;
+    } else if (d != digest) {
+      all_ok = false;
+      result.error = "divergent result reports";
+    }
+  }
+  if (reports == m) {
+    result.ok = all_ok;
+    result.result_digest = digest;
+    if (!all_ok && result.error.empty()) result.error = "a provider reported ⊥";
+  }
+
+  // The run is over either way: release every provider process.
+  for (NodeId j = 0; j < static_cast<NodeId>(m); ++j) {
+    tcp.send(net::Message{client, j, shutdown_topic, SharedBytes(Bytes{})});
+  }
+  tcp.shutdown();
   return result;
 }
 

@@ -1,14 +1,27 @@
 // TCP runtime: the distributed auctioneer over real loopback sockets.
 //
-// Spawns one TcpNode + engine thread per provider plus a client node that
-// submits bids and collects results — the paper's deployment shape with real
-// networking plumbing (framing, connection management, concurrent readers).
+// Two deployment shapes:
+//
+//  * run_distributed() — the in-process cluster: one TcpNode + engine thread
+//    per provider plus a client node, all in this process. The original
+//    runtime; no durability.
+//  * run_tcp_provider() / run_tcp_client() — ONE node per PROCESS: the real
+//    kill-and-restart deployment. Every process derives the shared plan
+//    (instance, ports, per-node endpoint seeds) from the same --seed, so no
+//    coordination channel is needed. A provider process given a WAL
+//    directory journals every engine-consumed delivery (store/wal.hpp)
+//    before dispatch; killed and restarted, it replays its log through the
+//    same dispatch path, broadcasts the rejoin sweep (net/reliable.hpp), and
+//    completes with the fault-free result. Sequence: docs/DURABILITY.md;
+//    driver: tools/kill_restart_smoke.sh.
 #pragma once
 
 #include <chrono>
 
 #include "core/distributed_auctioneer.hpp"
+#include "net/reliable.hpp"
 #include "net/tcp_transport.hpp"
+#include "store/wal.hpp"
 
 namespace dauct::runtime {
 
@@ -36,5 +49,51 @@ class TcpRuntime {
  private:
   TcpRunConfig config_;
 };
+
+/// Shared knobs of the one-node-per-process deployment. All processes of a
+/// run must agree on `seed` and `base_port` (node j listens on
+/// base_port + j; the client on base_port + m).
+struct TcpNodeConfig {
+  std::uint64_t seed = 1;
+  std::uint16_t base_port = 0;   ///< required: processes cannot auto-agree
+  std::chrono::milliseconds timeout{20'000};
+  std::string wal_dir;           ///< non-empty: journal to DIR/provider-J.wal
+  std::size_t snapshot_every = 8;  ///< WAL checkpoint cadence (0 = never)
+  /// Fault hook: _exit(137) right after the Nth WAL message record commits —
+  /// a real kill mid-epoch, state durable, memory gone. 0 = never.
+  std::uint64_t crash_after = 0;
+};
+
+struct TcpProviderResult {
+  auction::AuctionOutcome outcome{Bottom{}};
+  bool timed_out = false;
+  /// Set iff the process refused to run (e.g. the WAL belongs to a different
+  /// run or node — the foreign-state gate); nothing was bound or sent.
+  std::string error;
+  bool recovered = false;  ///< an existing WAL was replayed on startup
+  store::WalStats wal_stats;
+  net::ReliabilityStats reliability_stats;
+};
+
+/// Run provider `node` to completion (or timeout) in this process. With a
+/// WAL directory, an existing log is verified against this run's identity
+/// (refused via `error` on mismatch), replayed, and closed with a rejoin
+/// sweep before live traffic is processed.
+TcpProviderResult run_tcp_provider(const core::DistributedAuctioneer& auctioneer,
+                                   const auction::AuctionInstance& instance,
+                                   NodeId node, const TcpNodeConfig& config);
+
+struct TcpClientResult {
+  bool ok = false;          ///< all m providers reported the same ok result
+  bool timed_out = false;
+  std::string result_digest;  ///< sha256 hex of the agreed result report
+  std::string error;          ///< divergent / ⊥ reports
+};
+
+/// Run the client in this process: submit the bid batch to every provider,
+/// await all m result reports, check they agree, then broadcast shutdown.
+TcpClientResult run_tcp_client(const auction::AuctionInstance& instance,
+                               std::size_t providers,
+                               const TcpNodeConfig& config);
 
 }  // namespace dauct::runtime

@@ -67,14 +67,29 @@ struct Partition {
   SimTime until = kSimForever;
 };
 
+/// What a crashed node keeps across its down window.
+enum class CrashMode : std::uint8_t {
+  /// The historical in-memory mode: the simulator keeps engine state alive
+  /// across the window, so the node resumes exactly where it stopped (only
+  /// the window's traffic is lost). Models a pause, not a kill.
+  kRecover,
+  /// The node's memory is *dropped* at the crash; at recover_at the runtime
+  /// rebuilds the whole per-node chain from durable state (store/wal.hpp):
+  /// replay the logged messages through a fresh engine, then re-request the
+  /// gap from peers. Models a real kill-and-restart; requires the WAL and
+  /// the reliability layer (validated by runtime/scenario.cpp).
+  kAmnesia,
+};
+
 /// Crash of `node` at virtual time `at`. Crash-stop if `recover_at` is
 /// kSimForever, crash-recover otherwise: the node is down in [at, recover_at)
-/// and resumes with its pre-crash state afterwards (the simulator keeps
-/// engine state; what was lost is the traffic of the down window).
+/// and resumes afterwards — with its in-memory state (CrashMode::kRecover)
+/// or from its write-ahead log (CrashMode::kAmnesia).
 struct CrashEvent {
   NodeId node = kNoNode;
   SimTime at = kSimStart;
   SimTime recover_at = kSimForever;
+  CrashMode mode = CrashMode::kRecover;
 };
 
 /// The declarative fault plan: data, not code. Parsed from .scn scenario

@@ -149,8 +149,13 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
         const auto v = serde::parse_bool_word(kv.value);
         good = v.has_value();
         if (good) b.allow_crash_recover = *v;
+      } else if (faults && kv.key == "allow_amnesia") {
+        const auto v = serde::parse_bool_word(kv.value);
+        good = v.has_value();
+        if (good) b.allow_amnesia = *v;
       } else if (faults && kv.key == "horizon") good = time(b.horizon);
       else if (knobs && kv.key == "p_reliability") good = prob(b.p_reliability);
+      else if (knobs && kv.key == "p_wal") good = prob(b.p_wal);
       else if (knobs && kv.key == "p_auth") good = prob(b.p_auth);
       else if (knobs && kv.key == "p_auth_batch") good = prob(b.p_auth_batch);
       else if (knobs && kv.key == "p_auth_adversary") good = prob(b.p_auth_adversary);
@@ -356,6 +361,23 @@ FuzzCase PlanFuzzer::generate(std::uint64_t index,
     c.round_timeout =
         s.coin(0.5) ? 0 : static_cast<SimTime>(s.range(4, 16)) * 1'000'000;
     c.piggyback_acks = s.coin(0.5);
+  }
+
+  // --- durability layer ---
+  c.wal = s.coin(b.p_wal);
+  if (c.wal) {
+    // Snapshot cadence sweeps from every-message (1) to rarely (16); the
+    // checkpoints must agree at any cadence, so the cadence is fuzzed too.
+    c.wal_snapshot_every = static_cast<std::size_t>(s.range(1, 16));
+  }
+  // Amnesia needs a log to replay and the rejoin sweep to close the gap, so
+  // the mode is a post-pass over the recovering crashes once both layer
+  // coins are known (crashes are drawn before the layers above).
+  if (b.allow_amnesia && c.wal && c.reliability) {
+    for (CrashEvent& crash : c.faults.crashes) {
+      if (crash.recover_at != kSimForever && s.coin(0.5))
+        crash.mode = CrashMode::kAmnesia;
+    }
   }
 
   // --- auth layer + wire adversary ---

@@ -55,12 +55,21 @@ struct FuzzBounds {
   std::size_t max_partitions = 1;
   std::size_t max_crashes = 2;       ///< additionally capped by the sampled k
   bool allow_crash_recover = true;
+  /// Recovering crashes may come up as mode=amnesia (state dropped at the
+  /// crash instant, real WAL replay on recovery). Only sampled when both the
+  /// WAL and the reliability layer came up enabled — amnesia recovery needs
+  /// a log to replay and the rejoin sweep to close the gap.
+  bool allow_amnesia = true;
   /// Fault windows (cuts, partitions, crash/recover instants, link
   /// activity) are sampled within [0, horizon).
   SimTime horizon = from_millis(150);
 
   // --- optional layers ---
   double p_reliability = 0.5;
+  /// Durable provider state (store/wal.hpp). Orthogonal to the fault plan:
+  /// WAL-on runs must behave identically except that amnesia crashes become
+  /// recoverable, so the coin is sampled independently of the crash draws.
+  double p_wal = 0.5;
   double p_auth = 0.25;
   double p_auth_batch = 0.5;         ///< given auth
   double p_auth_adversary = 0.4;     ///< given auth and k budget left
@@ -106,6 +115,9 @@ struct FuzzCase {
   std::size_t max_retries = 0;
   SimTime round_timeout = 0;
   bool piggyback_acks = true;
+
+  bool wal = false;
+  std::size_t wal_snapshot_every = 0;  ///< sampled when wal; 0 = no snapshots
 
   bool auth = false;
   bool auth_batch = false;

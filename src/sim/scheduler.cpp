@@ -23,6 +23,7 @@ Scheduler::Scheduler(std::size_t num_nodes, LatencyModel latency, std::uint64_t 
       rng_(seed),
       cost_mode_(cost_mode),
       clocks_(num_nodes, kSimStart),
+      incarnations_(num_nodes, 0),
       handlers_(num_nodes),
       node_delay_(num_nodes, 0) {
   // In-flight messages ride the event queue as plain structs; this sink is
@@ -89,7 +90,17 @@ void Scheduler::inject(SimTime at, net::Message msg) {
 
 void Scheduler::schedule_timer(SimTime at, NodeId node, std::function<void()> fn) {
   assert(node < num_nodes_);
-  queue_.schedule(at, [this, at, node, fn = std::move(fn)] { run_timer(at, node, fn); });
+  // The timer is valid for the node incarnation that armed it: an amnesia
+  // rebuild bumps the incarnation and every older timer degrades to a no-op.
+  const std::uint32_t inc = incarnations_[node];
+  queue_.schedule(at, [this, at, node, inc, fn = std::move(fn)] {
+    run_timer(at, node, inc, fn);
+  });
+}
+
+void Scheduler::bump_incarnation(NodeId node) {
+  assert(node < num_nodes_);
+  ++incarnations_[node];
 }
 
 // One execution protocol for handlers and timers: what runs on a node
@@ -124,11 +135,19 @@ void Scheduler::run_in_node_context(SimTime at, NodeId node, SimTime initial_cha
 // wheel survives with it (in-flight *messages* of the window stay lost). A
 // crash-stop node never recovers: its due timers are discarded with it and
 // the queue drains.
-void Scheduler::run_timer(SimTime at, NodeId node, const std::function<void()>& fn) {
+void Scheduler::run_timer(SimTime at, NodeId node, std::uint32_t incarnation,
+                          const std::function<void()>& fn) {
+  // Stale incarnation: the node was rebuilt from durable state after this
+  // timer was armed (amnesia recovery). The state that scheduled it is gone.
+  if (incarnation != incarnations_[node]) return;
   if (faults_ && faults_->down_at(node, at, /*count=*/false)) {
     const SimTime recover = faults_->recovery_time(node, at);
     if (recover != kSimForever) {
-      queue_.schedule(recover, [this, recover, node, fn] { run_timer(recover, node, fn); });
+      // Deferral keeps the arming incarnation: if the recovery is an amnesia
+      // rebuild, the bump at the recovery instant invalidates this too.
+      queue_.schedule(recover, [this, recover, node, incarnation, fn] {
+        run_timer(recover, node, incarnation, fn);
+      });
     }
     return;
   }

@@ -94,6 +94,16 @@ class Scheduler {
   /// event stream is untouched.
   void schedule_timer(SimTime at, NodeId node, std::function<void()> fn);
 
+  /// Invalidate every timer `node` scheduled before this call: a timer fires
+  /// only if the node's incarnation still matches the one captured when it
+  /// was scheduled. This is what makes an *amnesia* recovery safe — the
+  /// rebuilt node must never run a timer armed by the state it lost (the
+  /// engine object behind such a timer no longer exists), whether the timer
+  /// was deferred through the down window or simply due after recovery.
+  /// Deliveries are unaffected: in-flight messages survive a process, not
+  /// its memory.
+  void bump_incarnation(NodeId node);
+
   /// Charge extra virtual compute time to the node whose handler is running
   /// (explicit cost-model hook; combinable with measured costs).
   void charge(SimTime cost);
@@ -143,7 +153,8 @@ class Scheduler {
 
  private:
   void deliver(SimTime at, net::Message msg);
-  void run_timer(SimTime at, NodeId node, const std::function<void()>& fn);
+  void run_timer(SimTime at, NodeId node, std::uint32_t incarnation,
+                 const std::function<void()>& fn);
   /// Shared handler/timer execution protocol: run `fn` on `node` starting no
   /// earlier than `at`, charge `initial_charge` plus (in kMeasured mode) the
   /// callback's real CPU time to the node's clock, then flush its outbox.
@@ -160,6 +171,9 @@ class Scheduler {
 
   EventQueue queue_;
   std::vector<SimTime> clocks_;
+  /// Per-node timer-validity epoch (bump_incarnation): timers carry the
+  /// value current at scheduling time and are dropped on mismatch.
+  std::vector<std::uint32_t> incarnations_;
   std::vector<DeliverFn> handlers_;
   std::vector<SimTime> node_delay_;
   SimTime now_ = kSimStart;

@@ -50,6 +50,8 @@ constexpr const char* kKnownFlags[] = {
     "--runtime",  "--latency", "--trace",     "--scenario", "--csv",
     "--reliable", "--retransmit-delay-ms",    "--max-retries",
     "--round-timeout-ms",      "--auth",      "--auth-batch",
+    "--tcp-node", "--base-port",              "--wal-dir",
+    "--crash-after",
     "--help",
 };
 

@@ -1,0 +1,170 @@
+// Durability equivalence pins (sim runtime).
+//
+// Three contracts, in increasing strength:
+//  1. WAL off constructs nothing — every golden fingerprint (result bytes,
+//     virtual makespan, traffic) is reproduced exactly, and the WAL counters
+//     stay at zero.
+//  2. WAL on, fault-free, is observationally silent — journaling every
+//     delivery must not move a single scheduled event, so the *same* golden
+//     fingerprints hold, now with nonzero journal counters.
+//  3. Amnesia recovery is exact — a provider killed mid-protocol with its
+//     memory dropped, rebuilt from the log, yields the byte-identical
+//     fault-free result (the kill_restart.scn story, pinned in-process).
+#include <gtest/gtest.h>
+
+#include "core/adapters.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "serde/auction_codec.hpp"
+#include "test_util.hpp"
+
+namespace dauct {
+namespace {
+
+core::DistributedAuctioneer make_auctioneer(const testutil::GoldenRun& g) {
+  core::AuctioneerSpec spec;
+  spec.m = g.m;
+  spec.k = g.k;
+  spec.num_bidders = g.n;
+  std::shared_ptr<core::AuctionAdapter> adapter;
+  if (g.standard) {
+    auction::StandardAuctionParams p;
+    p.epsilon = 0.25;
+    adapter = std::make_shared<core::StandardAuctionAdapter>(p);
+  } else {
+    adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  }
+  return core::DistributedAuctioneer(spec, adapter);
+}
+
+std::string result_digest(const runtime::SimRunResult& run) {
+  const Bytes enc = serde::encode_result(run.global_outcome.value());
+  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+TEST(DurabilityEquivalence, WalOffConstructsNothingAndMatchesGolden) {
+  for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
+    SCOPED_TRACE("seed=" + std::to_string(g.seed));
+    const auto auctioneer = make_auctioneer(g);
+    const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+    runtime::SimRunConfig cfg;
+    cfg.seed = g.seed;  // cfg.wal defaults to disabled
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    ASSERT_TRUE(run.global_outcome.ok());
+    EXPECT_EQ(result_digest(run), g.result_sha256);
+    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
+    EXPECT_EQ(run.traffic.messages, g.messages);
+    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    EXPECT_EQ(run.wal_stats.records_appended, 0u);
+    EXPECT_EQ(run.wal_stats.commits, 0u);
+    EXPECT_EQ(run.wal_stats.messages_replayed, 0u);
+  }
+}
+
+TEST(DurabilityEquivalence, WalOnFaultFreeIsObservationallySilent) {
+  for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
+    SCOPED_TRACE("seed=" + std::to_string(g.seed));
+    const auto auctioneer = make_auctioneer(g);
+    const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+    runtime::SimRunConfig cfg;
+    cfg.seed = g.seed;
+    cfg.wal.enable = true;
+    const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+    ASSERT_TRUE(run.global_outcome.ok());
+    // Journaling must not perturb the run: identical fingerprints...
+    EXPECT_EQ(result_digest(run), g.result_sha256);
+    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
+    EXPECT_EQ(run.traffic.messages, g.messages);
+    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    // ...while the journal itself did real work.
+    EXPECT_GT(run.wal_stats.records_appended, 0u);
+    EXPECT_GT(run.wal_stats.commits, 0u);
+    EXPECT_EQ(run.wal_stats.messages_replayed, 0u);  // nothing crashed
+    EXPECT_EQ(run.wal_stats.snapshot_mismatches, 0u);
+    EXPECT_EQ(run.wal_stats.truncated_bytes, 0u);
+  }
+}
+
+// The kill_restart.scn shape, pinned in-process: provider 2 of 5 killed at
+// t = 6 ms with amnesia, rebuilt from its WAL at t = 12 ms. The recovered
+// run must land on the exact fault-free digest of this instance — which is
+// golden run {12, 5, 2, seed 7} in the table.
+TEST(DurabilityRecovery, AmnesiaKillRestartMatchesTheFaultFreeDigest) {
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  ASSERT_EQ(g.m, 5u);
+  ASSERT_EQ(g.seed, 7u);
+  const auto auctioneer = make_auctioneer(g);
+  const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+
+  runtime::SimRunConfig cfg;
+  cfg.seed = g.seed;
+  cfg.latency = sim::LatencyModel::community();
+  cfg.wal.enable = true;
+  cfg.reliability.enable = true;
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  sim::CrashEvent crash;
+  crash.node = 2;
+  crash.at = sim::from_millis(6);
+  crash.recover_at = sim::from_millis(12);
+  crash.mode = sim::CrashMode::kAmnesia;
+  plan.crashes.push_back(crash);
+  cfg.faults = plan;
+
+  const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+  ASSERT_TRUE(run.global_outcome.ok()) << "amnesia recovery stalled";
+  EXPECT_FALSE(run.stalled);
+
+  // The fault-free digest with these layers on (pinned silent above) is the
+  // golden digest; the recovered run must reproduce it bit-for-bit.
+  runtime::SimRunConfig clean = cfg;
+  clean.faults.reset();
+  const auto clean_run =
+      runtime::SimRuntime(clean).run_distributed(auctioneer, inst);
+  ASSERT_TRUE(clean_run.global_outcome.ok());
+  EXPECT_EQ(result_digest(run), result_digest(clean_run));
+
+  EXPECT_GT(run.wal_stats.messages_replayed, 0u)
+      << "recovery should have replayed the victim's journal";
+  EXPECT_EQ(run.wal_stats.snapshot_mismatches, 0u);
+  EXPECT_GT(run.reliability_stats.rejoin_requests_sent, 0u);
+}
+
+// Beyond-k durability (amnesia_beyond_k.scn in-process): k+1 = 3 amnesia
+// kills would stall forever under crash-stop, but with every node restarting
+// from its WAL the run completes with the fault-free digest.
+TEST(DurabilityRecovery, BeyondKAmnesiaBurstStillCompletes) {
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  const auto auctioneer = make_auctioneer(g);
+  const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+
+  runtime::SimRunConfig cfg;
+  cfg.seed = g.seed;
+  cfg.latency = sim::LatencyModel::community();
+  cfg.wal.enable = true;
+  cfg.reliability.enable = true;
+  sim::FaultPlan plan;
+  plan.seed = 13;
+  for (const NodeId node : {0u, 2u, 4u}) {
+    sim::CrashEvent crash;
+    crash.node = node;
+    crash.at = sim::from_millis(6);
+    crash.recover_at = sim::from_millis(30);
+    crash.mode = sim::CrashMode::kAmnesia;
+    plan.crashes.push_back(crash);
+  }
+  cfg.faults = plan;
+
+  const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+  ASSERT_TRUE(run.global_outcome.ok()) << "beyond-k amnesia burst stalled";
+
+  runtime::SimRunConfig clean = cfg;
+  clean.faults.reset();
+  const auto clean_run =
+      runtime::SimRuntime(clean).run_distributed(auctioneer, inst);
+  EXPECT_EQ(result_digest(run), result_digest(clean_run));
+  EXPECT_GT(run.wal_stats.messages_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace dauct

@@ -97,6 +97,18 @@ TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
       EXPECT_LT(cr.node, c.providers) << "crashed a client";
       EXPECT_LT(cr.at, cr.recover_at);
       EXPECT_TRUE(adversarial.insert(cr.node).second) << "node hit twice";
+      if (cr.mode == sim::CrashMode::kAmnesia) {
+        // Amnesia needs a log to replay and the rejoin sweep to close the
+        // gap — the generator must never emit it without both layers.
+        EXPECT_TRUE(c.wal) << "amnesia without a WAL";
+        EXPECT_TRUE(c.reliability) << "amnesia without the rejoin path";
+        EXPECT_NE(cr.recover_at, sim::kSimForever)
+            << "amnesia on a crash-stop node";
+      }
+    }
+    if (c.wal) {
+      EXPECT_GE(c.wal_snapshot_every, 1u);
+      EXPECT_LE(c.wal_snapshot_every, 16u);
     }
     for (const FuzzCase::Deviation& d : c.deviations) {
       EXPECT_LT(d.node, c.providers);
@@ -112,6 +124,30 @@ TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
       EXPECT_TRUE(adversarial.insert(c.auth_adversary_node).second);
     }
     EXPECT_LE(adversarial.size(), c.k) << "k budget exceeded";
+  }
+}
+
+TEST(PlanFuzzer, AmnesiaCrashesActuallyAppearInTheStream) {
+  // Coverage sanity: at default bounds the stream must contain amnesia-mode
+  // crashes (p_wal · p_reliability · the recover coin make them common
+  // enough that 300 cases without one means the post-pass is dead code) —
+  // and turning allow_amnesia off must eliminate them entirely.
+  PlanFuzzer fuzzer(FuzzBounds{}, 17);
+  int amnesia = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const sim::CrashEvent& cr : fuzzer.next().faults.crashes) {
+      if (cr.mode == sim::CrashMode::kAmnesia) ++amnesia;
+    }
+  }
+  EXPECT_GT(amnesia, 0);
+
+  FuzzBounds off;
+  off.allow_amnesia = false;
+  PlanFuzzer plain(off, 17);
+  for (int i = 0; i < 300; ++i) {
+    for (const sim::CrashEvent& cr : plain.next().faults.crashes) {
+      EXPECT_EQ(cr.mode, sim::CrashMode::kRecover);
+    }
   }
 }
 
@@ -262,6 +298,39 @@ TEST(FuzzMinimizer, InjectedBadOracleIsReducedToItsTriggeringClauses) {
   EXPECT_EQ(min.scenario.faults.cuts[0].until, sim::kSimForever);
 }
 
+TEST(FuzzMinimizer, AmnesiaModeIsShrunkWhenTheFailureDoesNotNeedIt) {
+  // The known-bad oracle only looks at "a crash of node 0 exists"; the
+  // amnesia mode (and the WAL layer under it) is noise the scalar shrinker
+  // must strip — and widening recover_at to forever must reset the mode too,
+  // or the emitted repro would fail the .scn validator (mode=amnesia needs
+  // recover_ms).
+  const auto crash0_oracle = [](const Scenario& sc) {
+    for (const sim::CrashEvent& cr : sc.faults.crashes) {
+      if (cr.node == 0) return FuzzVerdict::kWrongResult;
+    }
+    return FuzzVerdict::kPass;
+  };
+  Scenario sc = base_scenario();
+  sc.reliability.enable = true;
+  sc.wal.enable = true;
+  sim::CrashEvent crash{0, sim::from_millis(10)};
+  crash.recover_at = sim::from_millis(30);
+  crash.mode = sim::CrashMode::kAmnesia;
+  sc.faults.crashes.push_back(crash);
+
+  const runtime::MinimizeResult min =
+      runtime::minimize(sc, FuzzVerdict::kWrongResult, crash0_oracle);
+  ASSERT_EQ(min.scenario.faults.crashes.size(), 1u);
+  EXPECT_EQ(min.scenario.faults.crashes[0].mode, sim::CrashMode::kRecover);
+  EXPECT_EQ(min.scenario.faults.crashes[0].recover_at, sim::kSimForever);
+
+  // The emitted repro survives the strict parser (the validator would reject
+  // a leftover mode=amnesia without recover_ms).
+  const runtime::ScenarioParse parsed =
+      runtime::parse_scenario(min.scenario.to_scn());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+}
+
 TEST(FuzzMinimizer, MinimizationIsIdempotent) {
   const runtime::MinimizeResult once = runtime::minimize(
       noisy_scenario(), FuzzVerdict::kWrongResult, crash0_and_cut_oracle);
@@ -335,10 +404,12 @@ max_drop = 0.5
 max_delay = 2.5
 max_crashes = 1
 allow_crash_recover = false
+allow_amnesia = false
 horizon = 80
 
 [knobs]
 p_reliability = 1
+p_wal = 0.25
 p_deviation = 0
 strategies = selective-silence
 )");
@@ -352,8 +423,10 @@ strategies = selective-silence
   EXPECT_DOUBLE_EQ(b.max_drop, 0.5);
   EXPECT_EQ(b.max_delay, sim::from_micros(2'500));
   EXPECT_FALSE(b.allow_crash_recover);
+  EXPECT_FALSE(b.allow_amnesia);
   EXPECT_EQ(b.horizon, sim::from_millis(80));
   EXPECT_DOUBLE_EQ(b.p_reliability, 1.0);
+  EXPECT_DOUBLE_EQ(b.p_wal, 0.25);
   EXPECT_EQ(b.strategies, (std::vector<std::string>{"selective-silence"}));
   // Untouched keys keep their defaults.
   EXPECT_DOUBLE_EQ(b.max_duplicate, FuzzBounds{}.max_duplicate);
@@ -372,6 +445,10 @@ TEST(FuzzBoundsFile, RejectsUnknownKeysAndInconsistentRanges) {
   EXPECT_FALSE(sim::parse_fuzz_bounds("[faults]\nhorizon = 0\n").ok());
   EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nlatencies = warp\n").ok());
   EXPECT_FALSE(sim::parse_fuzz_bounds("[knobs]\np_auth = nope\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\np_wal = 0.5\n").ok())
+      << "a [knobs] key must not be accepted under [shape]";
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[knobs]\nallow_amnesia = true\n").ok())
+      << "a [faults] key must not be accepted under [knobs]";
   // The empty text is the default bounds.
   EXPECT_TRUE(sim::parse_fuzz_bounds("").ok());
 }

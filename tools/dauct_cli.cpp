@@ -47,6 +47,11 @@ struct Options {
   bool csv_output = false;
   bool trace = false;
   bool help = false;
+  /// Single-node tcp deployment: "" (off), a provider index, or "client".
+  std::string tcp_node;
+  std::uint16_t base_port = 0;
+  std::string wal_dir;          ///< durable provider state (tcp single-node)
+  std::uint64_t crash_after = 0;  ///< kill hook after N WAL message records
   net::ReliabilityConfig reliability;  // --reliable and friends (sim runtime)
   net::AuthConfig auth;                // --auth / --auth-batch (sim runtime)
   /// Sim-only flags the user explicitly passed: the thread/TCP runtimes have
@@ -77,6 +82,19 @@ execution:
   --runtime sim|thread|tcp    runtime (default sim: virtual-time simulation)
   --latency zero|lan|community  sim network model (default community)
   --trace                     print the sim message trace (first 60 entries)
+
+single-node tcp deployment (one process per node; see docs/DURABILITY.md):
+  --tcp-node J|client         run ONE node of a multi-process tcp cluster:
+                              provider J (0-based) or the client. All
+                              processes must share --seed and --base-port.
+                              Requires --runtime tcp.
+  --base-port P               first tcp port (node j listens on P+j)
+  --wal-dir DIR               journal provider state to DIR/provider-J.wal;
+                              a restarted provider replays its log, rejoins,
+                              and completes. Refuses a WAL from a different
+                              run seed or node. Providers only.
+  --crash-after N             kill hook: _exit(137) right after the Nth WAL
+                              message record commits (requires --wal-dir)
 
 reliability (sim runtime only; ack/retransmit layer, see docs/RELIABILITY.md):
   --reliable                  enable the reliable-delivery layer
@@ -163,6 +181,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--scenario") {
       if (!(v = need_value(i))) return false;
       opt.scenario_file = v;
+    } else if (arg == "--tcp-node") {
+      if (!(v = need_value(i))) return false;
+      opt.tcp_node = v;
+    } else if (arg == "--base-port") {
+      if (!(v = need_value(i))) return false;
+      opt.base_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--wal-dir") {
+      if (!(v = need_value(i))) return false;
+      opt.wal_dir = v;
+    } else if (arg == "--crash-after") {
+      if (!(v = need_value(i))) return false;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *v == '-' || end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "--crash-after must be a positive integer (got %s)\n", v);
+        return false;
+      }
+      opt.crash_after = n;
     } else if (arg == "--reliable") {
       opt.reliability.enable = true;
       opt.sim_only_flags.push_back(arg);
@@ -368,6 +404,31 @@ int main(int argc, char** argv) {
                 "docs/AUTH.md)");
   }
 
+  // Single-node tcp deployment: fail fast on contradictory combinations
+  // instead of silently ignoring a flag.
+  if (!opt.tcp_node.empty() && opt.runtime != "tcp") {
+    return fail("--tcp-node requires --runtime tcp");
+  }
+  if (!opt.tcp_node.empty() && opt.base_port == 0) {
+    return fail("--tcp-node requires an explicit --base-port (every process "
+                "of the cluster must agree on the port plan)");
+  }
+  if (!opt.tcp_node.empty() && opt.centralized) {
+    return fail("--tcp-node runs the distributed protocol; drop --centralized");
+  }
+  if (!opt.wal_dir.empty() && opt.tcp_node.empty()) {
+    return fail("--wal-dir requires --tcp-node (durable state is per "
+                "provider process; see docs/DURABILITY.md)");
+  }
+  if (opt.tcp_node == "client" && !opt.wal_dir.empty()) {
+    return fail("--wal-dir applies to providers; the client keeps no durable "
+                "state");
+  }
+  if (opt.crash_after != 0 && opt.wal_dir.empty()) {
+    return fail("--crash-after requires --wal-dir (the kill hook counts WAL "
+                "message records)");
+  }
+
   // --- Market -----------------------------------------------------------
   auction::AuctionInstance instance;
   if (!opt.bids_file.empty() || !opt.asks_file.empty()) {
@@ -507,6 +568,56 @@ int main(int argc, char** argv) {
     timing = std::to_string(
                  std::chrono::duration<double, std::milli>(run.wall_time).count()) +
              " ms wall";
+  } else if (opt.runtime == "tcp" && !opt.tcp_node.empty()) {
+    runtime::TcpNodeConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.base_port = opt.base_port;
+    cfg.wal_dir = opt.wal_dir;
+    cfg.crash_after = opt.crash_after;
+    if (opt.tcp_node == "client") {
+      const auto run = runtime::run_tcp_client(instance, opt.providers, cfg);
+      if (!run.result_digest.empty()) {
+        std::printf("result sha256 %s\n", run.result_digest.c_str());
+      }
+      if (!run.ok) {
+        std::printf("tcp client: FAILED — %s\n", run.error.c_str());
+        return 2;
+      }
+      std::printf("# tcp client: %zu provider reports agree\n", opt.providers);
+      return 0;
+    }
+    char* end = nullptr;
+    const unsigned long j = std::strtoul(opt.tcp_node.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || j >= opt.providers) {
+      return fail("--tcp-node must be 'client' or a provider index < " +
+                  std::to_string(opt.providers));
+    }
+    const auto run = runtime::run_tcp_provider(*auctioneer, instance,
+                                               static_cast<NodeId>(j), cfg);
+    if (!run.error.empty()) return fail(run.error);
+    std::string note;
+    if (!opt.wal_dir.empty()) {
+      const auto& ws = run.wal_stats;
+      note = "; wal: " + std::to_string(ws.records_appended) + " records, " +
+             std::to_string(ws.commits) + " commits";
+      if (run.recovered) {
+        const auto& rs = run.reliability_stats;
+        note += ", recovered: " + std::to_string(ws.messages_replayed) +
+                " replayed, " + std::to_string(ws.snapshots_checked) +
+                " checkpoints (" + std::to_string(ws.snapshot_mismatches) +
+                " mismatches), " + std::to_string(rs.rejoin_requests_sent) +
+                " rejoin requests";
+      }
+    }
+    if (!run.outcome.ok()) {
+      std::printf("tcp provider %lu: \xE2\x8A\xA5 (%s)%s%s\n", j,
+                  abort_reason_name(run.outcome.bottom().reason),
+                  run.timed_out ? ", timed out" : "", note.c_str());
+      return 2;
+    }
+    std::printf("# tcp provider %lu: (x, p\xE2\x83\x97) reached%s\n", j,
+                note.c_str());
+    return 0;
   } else if (opt.runtime == "tcp") {
     runtime::TcpRunConfig cfg;
     cfg.seed = opt.seed;
