@@ -22,6 +22,7 @@
 //
 // Usage: perf_suite [--min-time-ms=N] [--json=PATH] [--filter=SUBSTR]
 // (JSON defaults to ./BENCH_dauct.json)
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -36,8 +37,10 @@
 #include "crypto/ed25519.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
+#include "core/service_plane.hpp"
 #include "net/auth.hpp"
 #include "net/message.hpp"
+#include "runtime/service_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "serde/auction_codec.hpp"
 #include "serde/codec.hpp"
@@ -652,6 +655,76 @@ void BM_e2e_sim_standard(State& state) {
   }
 }
 TINYBENCH(BM_e2e_sim_standard)->Args({12, 3})->Args({48, 4});
+
+// Service-plane points (runtime/service_runtime.hpp): a *stream* of N
+// auctions multiplexed over one shared transport — the deployment shape the
+// service plane exists for. BM_service_throughput runs the six-instance
+// stream at pipeline depth 1 vs 2: the virtual-time speedup (depth 2 clears
+// ≥ 1.5× more auctions per virtual second, pinned by tests/service_test.cpp)
+// is a protocol property; this point tracks the *wall* cost of the
+// multiplexing layer itself (topic scoping, demux, per-instance bundles).
+// BM_service_p99 is the tail settle latency of a pipelined stream across the
+// e2e sweep's scale band up to n = 512 bidders / m = 16 providers.
+void BM_service_throughput(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kProviders = 4, kInstances = 6;
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = kProviders;
+  spec.k = 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  std::vector<auction::AuctionInstance> workloads;
+  for (std::size_t t = 0; t < kInstances; ++t) {
+    workloads.push_back(make_double_instance(
+        users, kProviders, core::derive_instance_seed(5, t)));
+  }
+  for (auto _ : state) {
+    runtime::ServiceRunConfig svc;
+    svc.base.seed = 5;
+    svc.instances = kInstances;
+    svc.pipeline_depth = depth;
+    const auto run = runtime::ServiceRuntime(svc).run(auctioneer, workloads);
+    DoNotOptimize(run.auctions_per_vsec());
+  }
+}
+TINYBENCH(BM_service_throughput)->Args({48, 1})->Args({48, 2});
+
+void BM_service_p99(State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kInstances = 4;
+  auto adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  core::AuctioneerSpec spec;
+  spec.m = m;
+  spec.k = (m + 1) / 2 - 1;
+  spec.num_bidders = users;
+  const core::DistributedAuctioneer auctioneer(spec, adapter);
+  std::vector<auction::AuctionInstance> workloads;
+  for (std::size_t t = 0; t < kInstances; ++t) {
+    workloads.push_back(
+        make_double_instance(users, m, core::derive_instance_seed(5, t)));
+  }
+  for (auto _ : state) {
+    runtime::ServiceRunConfig svc;
+    svc.base.seed = 99;
+    svc.instances = kInstances;
+    svc.pipeline_depth = 2;
+    const auto run = runtime::ServiceRuntime(svc).run(auctioneer, workloads);
+    // Tail settle latency over the stream (p99 of launch→settle spans).
+    std::vector<sim::SimTime> spans;
+    for (const auto& inst : run.instances) {
+      spans.push_back(inst.settled_at - inst.launched_at);
+    }
+    std::sort(spans.begin(), spans.end());
+    DoNotOptimize(spans[(spans.size() * 99) / 100]);
+  }
+}
+TINYBENCH(BM_service_p99)
+    ->Args({48, 4})
+    ->Args({128, 8})
+    ->Args({512, 16});
 
 // ---------------------------------------------------------------------------
 

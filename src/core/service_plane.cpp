@@ -1,0 +1,64 @@
+#include "core/service_plane.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "net/message.hpp"
+
+namespace dauct::core {
+
+std::uint64_t derive_instance_seed(std::uint64_t base_seed, InstanceId i) {
+  if (i == 0) return base_seed;  // identity: single-instance byte-compat
+  // sha256 over a domain tag + (seed, i) little-endian; first 8 bytes LE.
+  // A hash (not an xor/LCG mix) so adjacent instances share no structure a
+  // workload generator could accidentally resonate with.
+  std::uint8_t buf[14 + 8 + 8];
+  std::memcpy(buf, "dauct-svc-seed", 14);
+  for (int b = 0; b < 8; ++b) {
+    buf[14 + b] = static_cast<std::uint8_t>(base_seed >> (8 * b));
+    buf[22 + b] = static_cast<std::uint8_t>(i >> (8 * b));
+  }
+  const crypto::Digest d = crypto::sha256(BytesView(buf, sizeof buf));
+  std::uint64_t seed = 0;
+  for (int b = 7; b >= 0; --b) seed = (seed << 8) | d[b];
+  return seed;
+}
+
+std::string instance_topic_prefix(std::size_t slot, std::uint64_t gen) {
+  std::string out;
+  out.reserve(8);
+  out.push_back('i');
+  out.append(std::to_string(slot));
+  out.push_back('g');
+  out.append(std::to_string(gen));
+  out.push_back('/');
+  return out;
+}
+
+void ScopedEndpoint::send(NodeId to, const net::Topic& topic,
+                          SharedBytes payload) {
+  if (!topics_) {  // identity scope: the classic single-auction wire format
+    inner_.send(to, topic, std::move(payload));
+    return;
+  }
+  static const net::Topic rreq(net::kRetransmitRequestTopicName);
+  if (topic == rreq) {
+    // Round-watchdog re-request: control topic stays unscoped (the link
+    // consumes it), but the payload names the round topic the block is
+    // missing — rewrite it so the peer's shared sent cache, which is keyed
+    // by scoped topics, can answer. The one-byte "*" rejoin wildcard (and
+    // any other non-topic payload) passes through untouched.
+    const BytesView v = payload.view();
+    if (v.size() == 1 && v[0] == '*') {
+      inner_.send(to, topic, std::move(payload));
+      return;
+    }
+    const std::string scoped = topics_->scope_name(
+        std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
+    inner_.send(to, topic, SharedBytes(Bytes(scoped.begin(), scoped.end())));
+    return;
+  }
+  inner_.send(to, topics_->scope(topic), std::move(payload));
+}
+
+}  // namespace dauct::core

@@ -84,4 +84,25 @@ std::ostream& operator<<(std::ostream& os, const Topic& t) {
 
 std::size_t topic_registry_size() { return registry().size(); }
 
+ScopedTopicRegistry::ScopedTopicRegistry(std::string prefix)
+    : prefix_(std::move(prefix)) {}
+
+Topic ScopedTopicRegistry::scope(const Topic& base) {
+  if (prefix_.empty()) return base;
+  if (const auto it = memo_.find(base.id()); it != memo_.end()) {
+    return it->second;
+  }
+  const Topic scoped(scope_name(base.str()));
+  memo_.emplace(base.id(), scoped);
+  return scoped;
+}
+
+std::string ScopedTopicRegistry::scope_name(std::string_view base) const {
+  std::string out;
+  out.reserve(prefix_.size() + base.size());
+  out.append(prefix_);
+  out.append(base);
+  return out;
+}
+
 }  // namespace dauct::net

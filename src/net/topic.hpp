@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace dauct::net {
 
@@ -59,5 +60,35 @@ std::ostream& operator<<(std::ostream& os, const Topic& t);
 
 /// Number of distinct topics interned so far (diagnostics/tests).
 std::size_t topic_registry_size();
+
+/// Per-scope sub-registry: memoizes base topic → "<prefix><base>" so each
+/// (prefix, base) pair touches the global registry exactly once, on first
+/// use. The service plane hands one of these to every auction instance with
+/// a prefix derived from the instance's *pipeline slot* — slots are reused
+/// as instances retire, so the global append-only registry stays bounded by
+/// pipeline depth × protocol topics, not by the number of instances served
+/// (a later instance in the same slot re-interns the same strings, which is
+/// a no-op).
+class ScopedTopicRegistry {
+ public:
+  explicit ScopedTopicRegistry(std::string prefix);
+
+  const std::string& prefix() const { return prefix_; }
+
+  /// The scoped Topic for `base`: global intern on first use, one hash
+  /// lookup after. The empty prefix is the identity map.
+  Topic scope(const Topic& base);
+
+  /// Scope a topic *name* (control frames carry topic strings as payload
+  /// bytes — the reliability layer's re-request names a round topic).
+  std::string scope_name(std::string_view base) const;
+
+  /// Distinct base topics this scope has mapped (diagnostics/tests).
+  std::size_t size() const { return memo_.size(); }
+
+ private:
+  std::string prefix_;
+  std::unordered_map<std::uint32_t, Topic> memo_;  ///< base id → scoped
+};
 
 }  // namespace dauct::net

@@ -182,6 +182,8 @@ Scenario scenario_from_case(const sim::FuzzCase& c) {
   for (const sim::FuzzCase::Deviation& d : c.deviations) {
     sc.deviations.push_back(DeviationSpec{d.node, d.strategy, kZeroMoney});
   }
+  sc.instances = c.instances;
+  sc.pipeline_depth = c.pipeline_depth;
   return sc;
 }
 

@@ -6,6 +6,7 @@
 
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
+#include "core/service_plane.hpp"
 #include "crypto/sha256.hpp"
 #include "serde/auction_codec.hpp"
 #include "serde/csv.hpp"
@@ -141,6 +142,10 @@ bool parse_link_section(ParseCtx& ctx, const serde::IniSection& sec) {
       else if (kv.key == "jitter_ms") rule.jitter = *v;
       else if (kv.key == "from_ms") rule.active_from = *v;
       else rule.active_until = *v;
+    } else if (kv.key == "instance") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == sim::kAnyInstance) return ctx.bad_value(kv);
+      rule.instance = *v;
     } else {
       return ctx.unknown_key("link", kv);
     }
@@ -371,6 +376,10 @@ bool parse_deviation_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = serde::parse_money(kv.value);
       if (!v) return ctx.bad_value(kv);
       dev.fake_cost = *v;
+    } else if (kv.key == "instance") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == sim::kAnyInstance) return ctx.bad_value(kv);
+      dev.instance = *v;
     } else {
       return ctx.unknown_key("deviation", kv);
     }
@@ -379,6 +388,23 @@ bool parse_deviation_section(ParseCtx& ctx, const serde::IniSection& sec) {
     return ctx.fail(sec.line, "[deviation] needs 'node' and 'strategy'");
   }
   ctx.sc.deviations.push_back(std::move(dev));
+  return true;
+}
+
+bool parse_service_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "instances") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);
+      ctx.sc.instances = static_cast<std::size_t>(*v);
+    } else if (kv.key == "pipeline_depth") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == 0) return ctx.bad_value(kv);
+      ctx.sc.pipeline_depth = static_cast<std::size_t>(*v);
+    } else {
+      return ctx.unknown_key("service", kv);
+    }
+  }
   return true;
 }
 
@@ -406,6 +432,14 @@ bool parse_expect_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_bool(kv.value);
       if (!v) return ctx.bad_value(kv);
       ctx.sc.expect.equivocation_proof = *v;
+    } else if (kv.key == "min_instances_ok") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.expect.min_instances_ok = *v;
+    } else if (kv.key == "instances_match_twins") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.expect.instances_match_twins = *v;
     } else {
       return ctx.unknown_key("expect", kv);
     }
@@ -443,6 +477,56 @@ std::string digest_of(const SimRunResult& run) {
   if (!run.global_outcome.ok()) return std::string();
   const Bytes enc = serde::encode_result(run.global_outcome.value());
   return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+/// Per-instance result digest — the value compared against the instance's
+/// single-run twin's digest_of().
+std::string digest_of_instance(const InstanceRunResult& inst) {
+  if (!inst.outcome.ok()) return std::string();
+  const Bytes enc = serde::encode_result(inst.outcome.value());
+  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+/// Service-run digest: sha256 over the concatenated per-instance result
+/// encodings; "" when any instance is ⊥ (mirrors digest_of's ⊥ rule).
+std::string digest_of_service(const ServiceRunResult& s) {
+  Bytes all;
+  for (const auto& inst : s.instances) {
+    if (!inst.outcome.ok()) return std::string();
+    const Bytes enc = serde::encode_result(inst.outcome.value());
+    all.insert(all.end(), enc.begin(), enc.end());
+  }
+  return crypto::digest_hex(crypto::sha256(BytesView(all)));
+}
+
+/// Aggregate a service run into the single-run result shape so every
+/// [expect] key keeps its meaning: global outcome ok iff ALL instances
+/// cleared (else the first ⊥ — its reason drives abort_reason), stats and
+/// the proof carried over verbatim.
+SimRunResult aggregate_service(const ServiceRunResult& s) {
+  SimRunResult r;
+  r.global_outcome = auction::AuctionOutcome(
+      Bottom{AbortReason::kTimeout, "service run produced no instances"});
+  bool all_ok = !s.instances.empty();
+  for (const auto& inst : s.instances) {
+    if (!inst.outcome.ok()) {
+      all_ok = false;
+      r.global_outcome = inst.outcome;
+      break;
+    }
+  }
+  if (all_ok) r.global_outcome = s.instances.front().outcome;
+  r.makespan = s.makespan;
+  r.traffic = s.traffic;
+  r.fault_stats = s.fault_stats;
+  r.reliability_stats = s.reliability_stats;
+  r.auth_stats = s.auth_stats;
+  r.wal_stats = s.wal_stats;
+  r.equivocation_proof = s.equivocation_proof;
+  r.stalled = s.stalled;
+  r.event_budget_exhausted = s.event_budget_exhausted;
+  r.events_dispatched = s.events_dispatched;
+  return r;
 }
 
 }  // namespace
@@ -497,6 +581,15 @@ std::string Scenario::to_scn() const {
     kv("max_events", std::to_string(max_events));
   }
 
+  if (instances != defaults.instances ||
+      pipeline_depth != defaults.pipeline_depth) {
+    out += "\n[service]\n";
+    kv("instances", std::to_string(instances));
+    if (pipeline_depth != defaults.pipeline_depth) {
+      kv("pipeline_depth", std::to_string(pipeline_depth));
+    }
+  }
+
   if (!faults.empty() || faults.seed != defaults.faults.seed) {
     out += "\n[fault]\n";
     kv("seed", std::to_string(faults.seed));
@@ -513,6 +606,9 @@ std::string Scenario::to_scn() const {
     time_kv("jitter_ms", r.jitter, 0);
     time_kv("from_ms", r.active_from, sim::kSimStart);
     time_kv("until_ms", r.active_until, sim::kSimForever);
+    if (r.instance != sim::kAnyInstance) {
+      kv("instance", std::to_string(r.instance));
+    }
   }
   for (const auto& c : faults.cuts) {
     out += "\n[cut]\n";
@@ -578,6 +674,9 @@ std::string Scenario::to_scn() const {
     kv("node", node_str(dev.node));
     kv("strategy", dev.strategy);
     if (dev.fake_cost != kZeroMoney) kv("fake_cost", dev.fake_cost.str());
+    if (dev.instance != sim::kAnyInstance) {
+      kv("instance", std::to_string(dev.instance));
+    }
   }
 
   std::string exp;
@@ -602,6 +701,13 @@ std::string Scenario::to_scn() const {
   }
   if (expect.equivocation_proof) {
     exp_kv("equivocation_proof", *expect.equivocation_proof ? "true" : "false");
+  }
+  if (expect.min_instances_ok) {
+    exp_kv("min_instances_ok", std::to_string(*expect.min_instances_ok));
+  }
+  if (expect.instances_match_twins) {
+    exp_kv("instances_match_twins",
+           *expect.instances_match_twins ? "true" : "false");
   }
   if (!exp.empty()) {
     out += "\n[expect]\n";
@@ -636,6 +742,7 @@ ScenarioParse parse_scenario(std::string_view text) {
     else if (sec.name == "auth") ok = parse_auth_section(ctx, sec);
     else if (sec.name == "auth_adversary") ok = parse_auth_adversary_section(ctx, sec);
     else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
+    else if (sec.name == "service") ok = parse_service_section(ctx, sec);
     else if (sec.name == "expect") ok = parse_expect_section(ctx, sec);
     else {
       ctx.fail(sec.line, sec.name.empty()
@@ -733,26 +840,102 @@ ScenarioParse parse_scenario(std::string_view text) {
               "rejoin sweep runs over the re-request path)"};
     }
   }
+  // [service] consistency. Instance filters and instance-level expectations
+  // only mean something when more than one instance runs; a depth above the
+  // instance count could never fill its pipeline.
+  const bool service = ctx.sc.instances > 1;
+  if (ctx.sc.pipeline_depth > ctx.sc.instances) {
+    return {std::nullopt,
+            "[service] pipeline_depth " + std::to_string(ctx.sc.pipeline_depth) +
+                " exceeds instances " + std::to_string(ctx.sc.instances)};
+  }
+  for (const auto& r : ctx.sc.faults.links) {
+    if (r.instance == sim::kAnyInstance) continue;
+    if (!service) {
+      return {std::nullopt,
+              "[link] instance= requires [service] instances > 1"};
+    }
+    if (r.instance >= ctx.sc.instances) {
+      return {std::nullopt, "[link] instance " + std::to_string(r.instance) +
+                                " does not exist (instances = " +
+                                std::to_string(ctx.sc.instances) + ")"};
+    }
+  }
+  for (const auto& dev : ctx.sc.deviations) {
+    if (dev.instance == sim::kAnyInstance) continue;
+    if (!service) {
+      return {std::nullopt,
+              "[deviation] instance= requires [service] instances > 1"};
+    }
+    if (dev.instance >= ctx.sc.instances) {
+      return {std::nullopt, "[deviation] instance " +
+                                std::to_string(dev.instance) +
+                                " does not exist (instances = " +
+                                std::to_string(ctx.sc.instances) + ")"};
+    }
+  }
+  if (!service && ctx.sc.expect.min_instances_ok) {
+    return {std::nullopt,
+            "[expect] min_instances_ok requires [service] instances > 1"};
+  }
+  if (!service && ctx.sc.expect.instances_match_twins) {
+    return {std::nullopt,
+            "[expect] instances_match_twins requires [service] instances > 1"};
+  }
+  if (service && ctx.sc.expect.min_instances_ok &&
+      *ctx.sc.expect.min_instances_ok > ctx.sc.instances) {
+    return {std::nullopt,
+            "[expect] min_instances_ok " +
+                std::to_string(*ctx.sc.expect.min_instances_ok) +
+                " exceeds [service] instances " +
+                std::to_string(ctx.sc.instances)};
+  }
+  if (service) {
+    // Amnesia recovery rebuilds ONE auction's chain from its log; the
+    // service plane shares links/WAL across instances, so a rebuild would
+    // tear down every instance's transport at once. Not supported.
+    for (const auto& c : ctx.sc.faults.crashes) {
+      if (c.mode == sim::CrashMode::kAmnesia) {
+        return {std::nullopt,
+                "[crash] mode=amnesia is not supported with [service] "
+                "(per-node durable state is shared across instances)"};
+      }
+    }
+  }
   return {std::move(ctx.sc), std::string()};
 }
 
 ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
   ScenarioRun out;
 
-  crypto::Rng rng(scenario.seed);
-  auction::AuctionInstance instance;
+  const auto gen_instance = [&](std::uint64_t seed) {
+    crypto::Rng rng(seed);
+    if (scenario.auction == "standard") {
+      return auction::generate(
+          auction::standard_auction_workload(scenario.users, scenario.providers),
+          rng);
+    }
+    return auction::generate(
+        auction::double_auction_workload(scenario.users, scenario.providers), rng);
+  };
   std::shared_ptr<core::AuctionAdapter> adapter;
   if (scenario.auction == "standard") {
-    instance = auction::generate(
-        auction::standard_auction_workload(scenario.users, scenario.providers), rng);
     auction::StandardAuctionParams params;
     params.epsilon = scenario.epsilon;
     adapter = std::make_shared<core::StandardAuctionAdapter>(params);
   } else {
-    instance = auction::generate(
-        auction::double_auction_workload(scenario.users, scenario.providers), rng);
     adapter = std::make_shared<core::DoubleAuctionAdapter>();
   }
+  // One workload per instance, each from the seed its single-run twin would
+  // use — instance 0 (and every non-[service] run) keeps the scenario seed.
+  const bool service = scenario.instances > 1;
+  std::vector<auction::AuctionInstance> workloads;
+  workloads.reserve(service ? scenario.instances : 1);
+  for (std::size_t i = 0; i < (service ? scenario.instances : 1); ++i) {
+    workloads.push_back(
+        gen_instance(core::derive_instance_seed(scenario.seed, i)));
+  }
+  const auction::AuctionInstance& instance = workloads.front();
 
   core::AuctioneerSpec spec;
   spec.m = scenario.providers;
@@ -782,18 +965,42 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
     cfg.deviations[dev.node] = make_strategy(dev, coalition);
   }
 
-  SimRuntime rt(cfg);
-  out.run = rt.run_distributed(*auctioneer, instance);
-  out.result_digest = digest_of(out.run);
-
   const ScenarioExpect& exp = scenario.expect;
-  if (exp.matches_clean.has_value() || force_clean_twin) {
-    SimRunConfig clean_cfg = cfg;
-    clean_cfg.faults.reset();
-    clean_cfg.deviations.clear();
-    clean_cfg.auth_adversary = {};  // the twin keeps auth (and wal), loses the attacker
-    out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
-    out.clean_digest = digest_of(*out.clean);
+  if (service) {
+    ServiceRunConfig svc;
+    svc.base = cfg;
+    svc.base.deviations.clear();  // carried as ServiceDeviations instead
+    svc.instances = scenario.instances;
+    svc.pipeline_depth = scenario.pipeline_depth;
+    for (const auto& dev : scenario.deviations) {
+      svc.deviations.push_back(ServiceDeviation{
+          dev.instance, dev.node, make_strategy(dev, coalition)});
+    }
+    out.service = ServiceRuntime(svc).run(*auctioneer, workloads);
+    out.run = aggregate_service(*out.service);
+    out.result_digest = digest_of_service(*out.service);
+    if (exp.matches_clean.has_value() || force_clean_twin) {
+      ServiceRunConfig clean_svc = svc;
+      clean_svc.base.faults.reset();
+      clean_svc.deviations.clear();
+      clean_svc.base.auth_adversary = {};  // keeps auth (and wal), loses the attacker
+      const ServiceRunResult clean =
+          ServiceRuntime(clean_svc).run(*auctioneer, workloads);
+      out.clean_digest = digest_of_service(clean);
+      out.clean = aggregate_service(clean);
+    }
+  } else {
+    SimRuntime rt(cfg);
+    out.run = rt.run_distributed(*auctioneer, instance);
+    out.result_digest = digest_of(out.run);
+    if (exp.matches_clean.has_value() || force_clean_twin) {
+      SimRunConfig clean_cfg = cfg;
+      clean_cfg.faults.reset();
+      clean_cfg.deviations.clear();
+      clean_cfg.auth_adversary = {};  // the twin keeps auth (and wal), loses the attacker
+      out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
+      out.clean_digest = digest_of(*out.clean);
+    }
   }
 
   // --- Expectation verdicts ---
@@ -875,6 +1082,44 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
         out.failures.push_back(
             "equivocation proof failed independent verification");
       }
+    }
+  }
+  if (exp.min_instances_ok && out.service &&
+      out.service->settled_ok < *exp.min_instances_ok) {
+    out.failures.push_back(
+        "expected min_instances_ok=" + std::to_string(*exp.min_instances_ok) +
+        ", only " + std::to_string(out.service->settled_ok) + " of " +
+        std::to_string(out.service->instances.size()) + " instances cleared");
+  }
+  if (exp.instances_match_twins && out.service) {
+    // Every instance that cleared must reproduce its single-run twin: a
+    // standalone run at the derived seed with the same transport layers and
+    // no faults. ⊥ instances are exempt (the faults that poisoned them are
+    // exactly what the scenario injected).
+    bool all_match = true;
+    std::string detail;
+    for (const auto& inst : out.service->instances) {
+      if (!inst.outcome.ok()) continue;
+      SimRunConfig twin_cfg = cfg;
+      twin_cfg.seed = inst.derived_seed;
+      twin_cfg.faults.reset();
+      twin_cfg.deviations.clear();
+      twin_cfg.auth_adversary = {};
+      const SimRunResult twin =
+          SimRuntime(twin_cfg).run_distributed(*auctioneer, workloads[inst.id]);
+      if (digest_of(twin) != digest_of_instance(inst)) {
+        all_match = false;
+        detail = "instance " + std::to_string(inst.id) + " diverged from its twin";
+        break;
+      }
+    }
+    if (*exp.instances_match_twins && !all_match) {
+      out.failures.push_back("expected instances_match_twins=true: " + detail);
+    }
+    if (!*exp.instances_match_twins && all_match) {
+      out.failures.push_back(
+          "expected instances_match_twins=false, every cleared instance "
+          "matched its twin");
     }
   }
   return out;

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/service_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
 
 namespace dauct::runtime {
@@ -36,6 +37,9 @@ struct DeviationSpec {
   NodeId node = kNoNode;
   std::string strategy;            ///< registry name (deviation_strategy_names())
   Money fake_cost = kZeroMoney;    ///< misreport-ask only
+  /// Confine the deviation to one auction instance of a [service] run
+  /// (kAnyInstance = every instance; the only valid value without [service]).
+  std::uint64_t instance = sim::kAnyInstance;
 };
 
 /// Assertions evaluated after the run; unset fields are not checked.
@@ -53,6 +57,14 @@ struct ScenarioExpect {
   /// equivocation proof — and a yielded proof must pass independent
   /// verification against the accused signer's public key.
   std::optional<bool> equivocation_proof;
+  /// [service] runs only: at least this many instances must clear (x, p⃗) —
+  /// the isolation assertion "a fault confined to instance t leaves the
+  /// pipeline live for the rest".
+  std::optional<std::uint64_t> min_instances_ok;
+  /// [service] runs only: every instance that cleared must reach the exact
+  /// result digest of its single-run twin (a standalone run at the
+  /// instance's derived seed, same transport layers, no faults).
+  std::optional<bool> instances_match_twins;
 };
 
 struct Scenario {
@@ -72,6 +84,13 @@ struct Scenario {
   /// queue still non-empty. Fuzzed plans run under a tight budget so a
   /// pathological plan can hang neither the fuzzer nor CI.
   std::uint64_t max_events = 50'000'000;
+
+  // [service] — multi-auction service plane (runtime/service_runtime.hpp).
+  // instances > 1 routes the run through ServiceRuntime: instance i's
+  // workload is generated from derive_instance_seed(seed, i), and up to
+  // pipeline_depth instances run concurrently over the shared transport.
+  std::size_t instances = 1;
+  std::size_t pipeline_depth = 1;
 
   sim::FaultPlan faults;
   net::ReliabilityConfig reliability;  ///< [reliability]; disabled by default
@@ -102,9 +121,17 @@ struct ScenarioParse {
 ScenarioParse parse_scenario(std::string_view text);
 
 /// Outcome of executing a scenario, plus the expectation verdicts.
+///
+/// A [service] scenario (instances > 1) fills `service` with the per-instance
+/// results and synthesizes `run` as an aggregate view so every single-run
+/// expectation keeps its meaning: global outcome ok iff ALL instances
+/// cleared (else the first ⊥), stalled/stats/proof carried over, and
+/// result_digest = sha256 over the concatenated per-instance result
+/// encodings ("" if any instance is ⊥).
 struct ScenarioRun {
-  SimRunResult run;                     ///< the faulty/deviant run
+  SimRunResult run;                     ///< the faulty/deviant run (aggregate)
   std::optional<SimRunResult> clean;    ///< fault-free twin, when compared
+  std::optional<ServiceRunResult> service;  ///< per-instance view, [service] runs
   std::string result_digest;            ///< sha256 hex of the result; "" if ⊥
   std::string clean_digest;             ///< same, for the twin
   std::vector<std::string> failures;    ///< violated expectations

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "crypto/sha256.hpp"
 #include "net/sim_transport.hpp"
+#include "runtime/submission_codec.hpp"
 #include "serde/auction_codec.hpp"
 #include "serde/codec.hpp"
 
@@ -15,51 +16,9 @@ namespace {
 constexpr const char* kBidsTopic = "client/bids";
 constexpr const char* kResultTopic = "client/result";
 
-/// Encode the (possibly absent) bids a provider receives from the client.
-Bytes encode_submissions(const std::vector<std::optional<auction::Bid>>& subs) {
-  serde::Writer w;
-  w.varint(subs.size());
-  for (const auto& s : subs) {
-    w.boolean(s.has_value());
-    if (s) serde::write_bid(w, *s);
-  }
-  return w.take();
-}
-
-std::optional<std::vector<std::optional<auction::Bid>>> decode_submissions(
-    BytesView data) {
-  serde::Reader r(data);
-  const std::uint64_t n = r.varint();
-  if (!r.ok() || n > (1u << 22)) return std::nullopt;
-  std::vector<std::optional<auction::Bid>> out(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (r.boolean()) {
-      auto b = serde::read_bid(r);
-      if (!b) return std::nullopt;
-      out[i] = *b;
-    }
-  }
-  if (!r.at_end()) return std::nullopt;
-  return out;
-}
-
-/// What the paper's deadline rule yields as provider input: the submitted
-/// bid if present, valid, and correctly addressed; the neutral bid otherwise.
-std::vector<auction::Bid> sanitize_submissions(
-    const std::vector<std::optional<auction::Bid>>& subs,
-    const auction::BidLimits& limits) {
-  std::vector<auction::Bid> bids;
-  bids.reserve(subs.size());
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    const auto& s = subs[i];
-    if (s && s->bidder == i && limits.valid(*s)) {
-      bids.push_back(*s);
-    } else {
-      bids.push_back(auction::neutral_bid(static_cast<BidderId>(i)));
-    }
-  }
-  return bids;
-}
+using detail::decode_submissions;
+using detail::encode_submissions;
+using detail::sanitize_submissions;
 
 }  // namespace
 

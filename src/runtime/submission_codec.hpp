@@ -1,0 +1,65 @@
+// Client→provider bid-submission wire format, shared by the single-auction
+// runtimes (runtime/sim_runtime.cpp and friends) and the multi-auction
+// service plane (runtime/service_runtime.cpp). The encoding is golden-pinned
+// (tests/fanout_test.cpp fingerprints cover the bids batch bytes), so both
+// runtimes must speak exactly the same dialect — hence one header.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/types.hpp"
+#include "common/bytes.hpp"
+#include "serde/auction_codec.hpp"
+#include "serde/codec.hpp"
+
+namespace dauct::runtime::detail {
+
+/// Encode the (possibly absent) bids a provider receives from the client.
+inline Bytes encode_submissions(
+    const std::vector<std::optional<auction::Bid>>& subs) {
+  serde::Writer w;
+  w.varint(subs.size());
+  for (const auto& s : subs) {
+    w.boolean(s.has_value());
+    if (s) serde::write_bid(w, *s);
+  }
+  return w.take();
+}
+
+inline std::optional<std::vector<std::optional<auction::Bid>>>
+decode_submissions(BytesView data) {
+  serde::Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > (1u << 22)) return std::nullopt;
+  std::vector<std::optional<auction::Bid>> out(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (r.boolean()) {
+      auto b = serde::read_bid(r);
+      if (!b) return std::nullopt;
+      out[i] = *b;
+    }
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+/// What the paper's deadline rule yields as provider input: the submitted
+/// bid if present, valid, and correctly addressed; the neutral bid otherwise.
+inline std::vector<auction::Bid> sanitize_submissions(
+    const std::vector<std::optional<auction::Bid>>& subs,
+    const auction::BidLimits& limits) {
+  std::vector<auction::Bid> bids;
+  bids.reserve(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const auto& s = subs[i];
+    if (s && s->bidder == i && limits.valid(*s)) {
+      bids.push_back(*s);
+    } else {
+      bids.push_back(auction::neutral_bid(static_cast<BidderId>(i)));
+    }
+  }
+  return bids;
+}
+
+}  // namespace dauct::runtime::detail

@@ -12,8 +12,13 @@ bool in_window(SimTime t, SimTime from, SimTime until) {
 
 }  // namespace
 
-bool LinkFault::matches(NodeId f, NodeId t, SimTime depart) const {
+bool LinkFault::matches(NodeId f, NodeId t, std::string_view topic,
+                        SimTime depart) const {
   if (!in_window(depart, active_from, active_until)) return false;
+  if (!topic_scope.empty() &&
+      topic.substr(0, topic_scope.size()) != topic_scope) {
+    return false;  // instance-confined rule, foreign instance's traffic
+  }
   const bool forward = (from == kNoNode || from == f) && (to == kNoNode || to == t);
   if (forward) return true;
   if (!symmetric || from == kNoNode || to == kNoNode) return false;
@@ -44,6 +49,7 @@ bool FaultInjector::severed(NodeId from, NodeId to, SimTime depart) {
 }
 
 FaultInjector::SendVerdict FaultInjector::on_send(NodeId from, NodeId to,
+                                                  std::string_view topic,
                                                   SimTime depart) {
   SendVerdict v;
   // A down node emits nothing (its handler would not have run on a real
@@ -63,7 +69,7 @@ FaultInjector::SendVerdict FaultInjector::on_send(NodeId from, NodeId to,
   // zero rates draw nothing, keeping a zero-rate plan bit-identical to no
   // plan (the RNG stream position only matters to *other* fault draws).
   for (const LinkFault& r : plan_.links) {
-    if (!r.matches(from, to, depart)) continue;
+    if (!r.matches(from, to, topic, depart)) continue;
     if (r.drop > 0 && rng_.next_double() < r.drop) {
       ++stats_.link_dropped;
       v.deliver = false;

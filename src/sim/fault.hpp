@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -33,6 +35,10 @@
 #include "sim/clock.hpp"
 
 namespace dauct::sim {
+
+/// LinkFault::instance value meaning "every auction instance" (the default;
+/// also the only valid value outside service-plane runs).
+inline constexpr std::uint64_t kAnyInstance = ~0ull;
 
 /// Stochastic per-message model on matching links. `from`/`to` default to
 /// kNoNode = "any node"; `symmetric` also matches the reverse direction when
@@ -48,7 +54,19 @@ struct LinkFault {
   SimTime active_from = kSimStart;
   SimTime active_until = kSimForever;  ///< window is [active_from, active_until)
 
-  bool matches(NodeId f, NodeId t, SimTime depart) const;
+  /// Declarative instance filter (service-plane runs): confine the rule to
+  /// one auction instance's traffic. kAnyInstance (the default) matches all.
+  /// The service runtime compiles this into `topic_scope` below — outside
+  /// service runs it must stay kAnyInstance (scenario validation enforces).
+  std::uint64_t instance = kAnyInstance;
+  /// Compiled topic-prefix filter: when non-empty, the rule matches only
+  /// messages whose topic starts with this prefix (the owning instance's
+  /// namespace, e.g. "i0g0/"). Runtime-internal — never parsed from .scn;
+  /// note that instance-confined rules cannot touch unscoped traffic (the
+  /// link's rl/* control frames, cross-instance launch batches).
+  std::string topic_scope;
+
+  bool matches(NodeId f, NodeId t, std::string_view topic, SimTime depart) const;
 };
 
 /// Total symmetric cut of the a↔b link during [from, until).
@@ -126,7 +144,7 @@ class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
 
-  /// Fate of a message departing `from`→`to` at `depart`.
+  /// Fate of a message departing `from`→`to` at `depart` on `topic`.
   struct SendVerdict {
     bool emitted = true;          ///< false: the sender was down — the message
                                   ///  never reached the wire (no traffic)
@@ -135,7 +153,8 @@ class FaultInjector {
     bool duplicate = false;       ///< deliver one extra copy...
     SimTime duplicate_delay = 0;  ///< ...this much after the original
   };
-  SendVerdict on_send(NodeId from, NodeId to, SimTime depart);
+  SendVerdict on_send(NodeId from, NodeId to, std::string_view topic,
+                      SimTime depart);
 
   /// True iff `node` is inside a crash window at time `at`. `count` adds the
   /// query to crash_dropped (deliver-side bookkeeping).

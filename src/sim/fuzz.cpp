@@ -154,12 +154,16 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
         good = v.has_value();
         if (good) b.allow_amnesia = *v;
       } else if (faults && kv.key == "horizon") good = time(b.horizon);
+      else if (shape && kv.key == "max_instances") good = u64(b.max_instances);
+      else if (shape && kv.key == "max_pipeline_depth")
+        good = u64(b.max_pipeline_depth);
       else if (knobs && kv.key == "p_reliability") good = prob(b.p_reliability);
       else if (knobs && kv.key == "p_wal") good = prob(b.p_wal);
       else if (knobs && kv.key == "p_auth") good = prob(b.p_auth);
       else if (knobs && kv.key == "p_auth_batch") good = prob(b.p_auth_batch);
       else if (knobs && kv.key == "p_auth_adversary") good = prob(b.p_auth_adversary);
       else if (knobs && kv.key == "p_deviation") good = prob(b.p_deviation);
+      else if (knobs && kv.key == "p_service") good = prob(b.p_service);
       else if (knobs && kv.key == "strategies") {
         // Names are validated downstream by the scenario parser (the
         // deviation registry lives above this layer); here only non-emptiness.
@@ -209,6 +213,15 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
   }
   if (b.horizon <= 0) {
     out.error = "horizon must be positive";
+    return out;
+  }
+  if (b.max_instances < 2) {
+    out.error = "max_instances must be >= 2 (a service case multiplexes at "
+                "least two auctions; set p_service = 0 to disable)";
+    return out;
+  }
+  if (b.max_pipeline_depth == 0) {
+    out.error = "max_pipeline_depth must be positive";
     return out;
   }
   out.bounds = std::move(b);
@@ -400,6 +413,20 @@ FuzzCase PlanFuzzer::generate(std::uint64_t index,
       d.strategy = b.strategies[s.rng.next_below(b.strategies.size())];
       c.deviations.push_back(d);
     }
+  }
+
+  // --- service plane ---
+  // Drawn last so single-run cases are byte-identical to the pre-service
+  // fuzzer at the same (seed, index) — the service coin only appends draws.
+  if (s.coin(b.p_service)) {
+    c.instances = static_cast<std::size_t>(s.range(2, b.max_instances));
+    c.pipeline_depth = static_cast<std::size_t>(
+        s.range(1, std::min(b.max_pipeline_depth, c.instances)));
+    // Scenario validation rejects amnesia with [service] (per-node durable
+    // state is shared across instances), so degrade those crashes to the
+    // plain in-memory recover mode.
+    for (CrashEvent& crash : c.faults.crashes)
+      if (crash.mode == CrashMode::kAmnesia) crash.mode = CrashMode::kRecover;
   }
   return c;
 }

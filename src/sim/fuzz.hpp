@@ -63,6 +63,12 @@ struct FuzzBounds {
   /// Fault windows (cuts, partitions, crash/recover instants, link
   /// activity) are sampled within [0, horizon).
   SimTime horizon = from_millis(150);
+  /// Service-plane sampling caps ([service] runs draw instances in
+  /// [2, max_instances] and pipeline_depth in [1, min(max_pipeline_depth,
+  /// instances)]); kept small by default — every instance multiplies the
+  /// twin-oracle cost.
+  std::size_t max_instances = 3;
+  std::size_t max_pipeline_depth = 2;
 
   // --- optional layers ---
   double p_reliability = 0.5;
@@ -74,6 +80,11 @@ struct FuzzBounds {
   double p_auth_batch = 0.5;         ///< given auth
   double p_auth_adversary = 0.4;     ///< given auth and k budget left
   double p_deviation = 0.35;         ///< at least one deviant, given k budget
+  /// Route the case through the multi-auction service plane
+  /// (runtime/service_runtime.hpp). Amnesia crashes degrade to plain
+  /// recover in service cases — scenario validation rejects amnesia with
+  /// [service] because per-node durable state is shared across instances.
+  double p_service = 0.35;
   /// Deviation strategy pool. Protocol-level deviations only: misreport-ask
   /// is deliberately absent — lying about one's own cost is input
   /// manipulation the mechanism prices in, so the run completes ok with a
@@ -129,6 +140,12 @@ struct FuzzCase {
     std::string strategy;
   };
   std::vector<Deviation> deviations;
+
+  /// Service plane: > 1 routes the case through ServiceRuntime with this
+  /// many instances; depth is the concurrent-instance bound (see
+  /// FuzzBounds::p_service).
+  std::size_t instances = 1;
+  std::size_t pipeline_depth = 1;
 };
 
 class PlanFuzzer {

@@ -52,7 +52,8 @@ void Scheduler::install_fault_plan(FaultPlan plan) {
 // bit-identical to the pre-fault-hook scheduler.
 void Scheduler::route(SimTime depart, SimTime lat, net::Message msg) {
   if (faults_) {
-    const auto verdict = faults_->on_send(msg.from, msg.to, depart);
+    const auto verdict =
+        faults_->on_send(msg.from, msg.to, msg.topic.str(), depart);
     if (!verdict.emitted) return;  // down sender: never reached the wire
     traffic_.messages += 1;
     traffic_.bytes += msg.wire_size();

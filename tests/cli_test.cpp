@@ -51,7 +51,7 @@ constexpr const char* kKnownFlags[] = {
     "--reliable", "--retransmit-delay-ms",    "--max-retries",
     "--round-timeout-ms",      "--auth",      "--auth-batch",
     "--tcp-node", "--base-port",              "--wal-dir",
-    "--crash-after",
+    "--crash-after",            "--instances", "--pipeline-depth",
     "--help",
 };
 
@@ -107,6 +107,36 @@ TEST(Cli, AuthRunSucceedsAndPrintsCounters) {
       "--auth-batch");
   EXPECT_EQ(batch.exit_code, 0) << batch.output;
   EXPECT_NE(batch.output.find("batches"), std::string::npos);
+}
+
+TEST(Cli, ServicePlaneRunPrintsPerInstanceReport) {
+  const auto r = run_command(
+      "--auction double --users 8 --providers 3 --k 1 --seed 3 "
+      "--instances 3 --pipeline-depth 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("service plane"), std::string::npos);
+  EXPECT_NE(r.output.find("instance 0"), std::string::npos);
+  EXPECT_NE(r.output.find("instance 2"), std::string::npos);
+  EXPECT_NE(r.output.find("3/3 instances ok"), std::string::npos);
+  EXPECT_NE(r.output.find("auctions/vsec"), std::string::npos);
+}
+
+TEST(Cli, ServicePlaneFlagValidation) {
+  const auto depth = run_command("--instances 2 --pipeline-depth 3");
+  EXPECT_EQ(depth.exit_code, 1);
+  EXPECT_NE(depth.output.find("--pipeline-depth must not exceed"),
+            std::string::npos);
+  const auto zero = run_command("--instances 0");
+  EXPECT_EQ(zero.exit_code, 1);
+  EXPECT_NE(zero.output.find("positive integer"), std::string::npos);
+  const auto central = run_command("--instances 2 --centralized");
+  EXPECT_EQ(central.exit_code, 1) << central.output;
+  EXPECT_NE(central.output.find("--centralized"), std::string::npos);
+  // Sim-only: the service plane needs virtual-time pipelining.
+  const auto threaded = run_command(
+      "--runtime thread --instances 2 --users 6 --providers 3");
+  EXPECT_EQ(threaded.exit_code, 1) << threaded.output;
+  EXPECT_NE(threaded.output.find("requires --runtime sim"), std::string::npos);
 }
 
 // Satellite bugfix: sim-only layers on timerless runtimes must fail fast

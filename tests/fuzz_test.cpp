@@ -124,7 +124,51 @@ TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
       EXPECT_TRUE(adversarial.insert(c.auth_adversary_node).second);
     }
     EXPECT_LE(adversarial.size(), c.k) << "k budget exceeded";
+
+    // Service-plane draws: a service case stays inside the declared caps and
+    // never carries amnesia (scenario validation rejects amnesia with
+    // [service]; the generator degrades those crashes to plain recover).
+    if (c.instances > 1) {
+      EXPECT_LE(c.instances, b.max_instances);
+      EXPECT_GE(c.pipeline_depth, 1u);
+      EXPECT_LE(c.pipeline_depth, std::min(b.max_pipeline_depth, c.instances));
+      for (const sim::CrashEvent& cr : c.faults.crashes) {
+        EXPECT_NE(cr.mode, sim::CrashMode::kAmnesia)
+            << "amnesia crash in a service case";
+      }
+    } else {
+      EXPECT_EQ(c.instances, 1u);
+      EXPECT_EQ(c.pipeline_depth, 1u);
+    }
   }
+}
+
+TEST(PlanFuzzer, ServiceCasesAppearAndMapOntoTheScenario) {
+  // Coverage sanity at default bounds (p_service = 0.35): both service and
+  // single-run cases must appear, and scenario_from_case must carry the
+  // knobs through verbatim.
+  PlanFuzzer fuzzer(FuzzBounds{}, 23);
+  int service = 0, single = 0;
+  for (int i = 0; i < 100; ++i) {
+    const FuzzCase c = fuzzer.next();
+    const Scenario sc = runtime::scenario_from_case(c);
+    EXPECT_EQ(sc.instances, c.instances);
+    EXPECT_EQ(sc.pipeline_depth, c.pipeline_depth);
+    c.instances > 1 ? ++service : ++single;
+  }
+  EXPECT_GT(service, 0) << "p_service = 0.35 produced no service case in 100";
+  EXPECT_GT(single, 0);
+
+  // p_service = 0 eliminates them; p_service = 1 forces them (the checked-in
+  // CI shard bounds file relies on this).
+  FuzzBounds off;
+  off.p_service = 0.0;
+  PlanFuzzer none(off, 23);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(none.next().instances, 1u);
+  FuzzBounds on;
+  on.p_service = 1.0;
+  PlanFuzzer all(on, 23);
+  for (int i = 0; i < 50; ++i) EXPECT_GT(all.next().instances, 1u);
 }
 
 TEST(PlanFuzzer, AmnesiaCrashesActuallyAppearInTheStream) {
@@ -397,6 +441,8 @@ min_providers = 3
 max_providers = 5
 latencies = zero, lan
 max_events = 500000
+max_instances = 4
+max_pipeline_depth = 3
 
 [faults]
 max_link_rules = 1
@@ -411,6 +457,7 @@ horizon = 80
 p_reliability = 1
 p_wal = 0.25
 p_deviation = 0
+p_service = 0.75
 strategies = selective-silence
 )");
   ASSERT_TRUE(parsed.ok()) << parsed.error;
@@ -428,6 +475,9 @@ strategies = selective-silence
   EXPECT_DOUBLE_EQ(b.p_reliability, 1.0);
   EXPECT_DOUBLE_EQ(b.p_wal, 0.25);
   EXPECT_EQ(b.strategies, (std::vector<std::string>{"selective-silence"}));
+  EXPECT_EQ(b.max_instances, 4u);
+  EXPECT_EQ(b.max_pipeline_depth, 3u);
+  EXPECT_DOUBLE_EQ(b.p_service, 0.75);
   // Untouched keys keep their defaults.
   EXPECT_DOUBLE_EQ(b.max_duplicate, FuzzBounds{}.max_duplicate);
 }
@@ -449,6 +499,11 @@ TEST(FuzzBoundsFile, RejectsUnknownKeysAndInconsistentRanges) {
       << "a [knobs] key must not be accepted under [shape]";
   EXPECT_FALSE(sim::parse_fuzz_bounds("[knobs]\nallow_amnesia = true\n").ok())
       << "a [faults] key must not be accepted under [knobs]";
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nmax_instances = 1\n").ok())
+      << "a service case multiplexes at least two auctions";
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[shape]\nmax_pipeline_depth = 0\n").ok());
+  EXPECT_FALSE(sim::parse_fuzz_bounds("[knobs]\nmax_instances = 3\n").ok())
+      << "a [shape] key must not be accepted under [knobs]";
   // The empty text is the default bounds.
   EXPECT_TRUE(sim::parse_fuzz_bounds("").ok());
 }

@@ -20,7 +20,9 @@
 
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
+#include "core/service_plane.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/service_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "runtime/tcp_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
@@ -54,6 +56,8 @@ struct Options {
   std::uint64_t crash_after = 0;  ///< kill hook after N WAL message records
   net::ReliabilityConfig reliability;  // --reliable and friends (sim runtime)
   net::AuthConfig auth;                // --auth / --auth-batch (sim runtime)
+  std::size_t instances = 1;       ///< --instances (sim runtime service plane)
+  std::size_t pipeline_depth = 1;  ///< --pipeline-depth (needs instances > 1)
   /// Sim-only flags the user explicitly passed: the thread/TCP runtimes have
   /// no virtual-time timer facility (blocks/block.cpp), so reliability
   /// watchdogs and the signing layer would silently no-op there. We record
@@ -110,9 +114,19 @@ authentication (sim runtime only; ed25519 signing layer, see docs/AUTH.md):
                               (implies --auth; forgeries abort instead of
                               being rejected — see docs/AUTH.md)
 
-the reliability and authentication layers need the sim runtime's virtual-time
-timers; combining their flags with --runtime thread|tcp is an error rather
-than a silent no-op.
+service plane (sim runtime only; multi-auction multiplexing, see docs/SERVICE.md):
+  --instances N               clear N auction instances over ONE shared
+                              transport stack; instance i's workload is
+                              generated from derive_instance_seed(seed, i),
+                              so each instance matches a standalone run at
+                              its derived seed
+  --pipeline-depth D          concurrent-instance bound (default 1: strictly
+                              sequential). Settling instance t launches
+                              instance t+D in the same virtual instant.
+
+the reliability, authentication, and service-plane layers need the sim
+runtime's virtual-time timers; combining their flags with --runtime
+thread|tcp is an error rather than a silent no-op.
 
 scenario (deterministic fault injection; see docs/SCENARIOS.md):
   --scenario FILE.scn         run a declarative scenario (link faults, cuts,
@@ -208,6 +222,26 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--auth-batch") {
       opt.auth.enable = true;
       opt.auth.batch_verify = true;
+      opt.sim_only_flags.push_back(arg);
+    } else if (arg == "--instances") {
+      if (!(v = need_value(i))) return false;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *v == '-' || end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "--instances must be a positive integer (got %s)\n", v);
+        return false;
+      }
+      opt.instances = static_cast<std::size_t>(n);
+      opt.sim_only_flags.push_back(arg);
+    } else if (arg == "--pipeline-depth") {
+      if (!(v = need_value(i))) return false;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *v == '-' || end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "--pipeline-depth must be a positive integer (got %s)\n", v);
+        return false;
+      }
+      opt.pipeline_depth = static_cast<std::size_t>(n);
       opt.sim_only_flags.push_back(arg);
     } else if (arg == "--retransmit-delay-ms") {
       if (!(v = need_value(i))) return false;
@@ -404,6 +438,26 @@ int main(int argc, char** argv) {
                 "docs/AUTH.md)");
   }
 
+  // Service plane: fail fast on combinations the multiplexed run cannot
+  // honor (one CSV market is one instance; the baseline is single-auction).
+  if (opt.pipeline_depth > opt.instances) {
+    return fail("--pipeline-depth must not exceed --instances (depth " +
+                std::to_string(opt.pipeline_depth) + " > " +
+                std::to_string(opt.instances) + " instances)");
+  }
+  if (opt.instances > 1 && opt.centralized) {
+    return fail("--instances multiplexes the distributed protocol; drop "
+                "--centralized");
+  }
+  if (opt.instances > 1 && (!opt.bids_file.empty() || !opt.asks_file.empty())) {
+    return fail("--instances generates one synthetic workload per instance "
+                "from the seed; a single CSV market cannot be multiplexed");
+  }
+  if (opt.instances > 1 && opt.csv_output) {
+    return fail("--csv emits one market's allocation table; --instances "
+                "prints the per-instance report instead");
+  }
+
   // Single-node tcp deployment: fail fast on contradictory combinations
   // instead of silently ignoring a flag.
   if (!opt.tcp_node.empty() && opt.runtime != "tcp") {
@@ -520,6 +574,55 @@ int main(int argc, char** argv) {
       cfg.latency = sim::LatencyModel::lan();
     } else if (opt.latency != "community") {
       return fail("unknown --latency '" + opt.latency + "'");
+    }
+    if (opt.instances > 1) {
+      // --- Service plane: N instances over one shared transport ----------
+      runtime::ServiceRunConfig svc;
+      svc.base = cfg;
+      svc.instances = opt.instances;
+      svc.pipeline_depth = opt.pipeline_depth;
+      std::vector<auction::AuctionInstance> workloads;
+      workloads.reserve(opt.instances);
+      for (std::size_t t = 0; t < opt.instances; ++t) {
+        crypto::Rng rng(core::derive_instance_seed(opt.seed, t));
+        const auto params =
+            opt.auction == "standard"
+                ? auction::standard_auction_workload(opt.users, opt.providers)
+                : auction::double_auction_workload(opt.users, opt.providers);
+        workloads.push_back(auction::generate(params, rng));
+      }
+      const auto run = runtime::ServiceRuntime(svc).run(*auctioneer, workloads);
+      std::printf("# service plane: m=%zu k=%zu, %zu instance(s), pipeline "
+                  "depth %zu\n",
+                  opt.providers, opt.k, opt.instances, opt.pipeline_depth);
+      for (const auto& inst : run.instances) {
+        if (inst.outcome.ok()) {
+          std::printf("instance %llu (seed %llu): (x, p\xE2\x83\x97) reached, "
+                      "settled at %s\n",
+                      static_cast<unsigned long long>(inst.id),
+                      static_cast<unsigned long long>(inst.derived_seed),
+                      sim::format_time(inst.settled_at).c_str());
+        } else {
+          std::printf("instance %llu (seed %llu): \xE2\x8A\xA5 (%s)\n",
+                      static_cast<unsigned long long>(inst.id),
+                      static_cast<unsigned long long>(inst.derived_seed),
+                      abort_reason_name(inst.outcome.bottom().reason));
+        }
+      }
+      if (run.equivocation_proof) {
+        std::printf("transferable equivocation proof against provider p%u on "
+                    "topic '%s'\n",
+                    run.equivocation_proof->signer,
+                    run.equivocation_proof->topic.c_str());
+      }
+      std::printf("# %zu/%zu instances ok, %s virtual, %.2f auctions/vsec; "
+                  "traffic: %llu msgs, %llu bytes\n",
+                  run.settled_ok, run.instances.size(),
+                  sim::format_time(run.makespan).c_str(),
+                  run.auctions_per_vsec(),
+                  static_cast<unsigned long long>(run.traffic.messages),
+                  static_cast<unsigned long long>(run.traffic.bytes));
+      return run.settled_ok == run.instances.size() ? 0 : 2;
     }
     const auto run = runtime::SimRuntime(cfg).run_distributed(*auctioneer, instance);
     outcome = run.global_outcome;
