@@ -1,0 +1,59 @@
+#include "adversary/bidder_adversary.hpp"
+
+namespace dauct::adversary {
+
+namespace {
+
+class Malformed final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId,
+                                      crypto::Rng&) const override {
+    auction::Bid bad = true_bid;
+    bad.demand = kZeroMoney;                      // structurally "neutral"...
+    bad.unit_value = Money::from_micros(-7);      // ...yet carrying nonsense
+    return bad;
+  }
+};
+
+class OutOfRange final : public BidderBehaviour {
+ public:
+  std::optional<auction::Bid> bid_for(const auction::Bid& true_bid, NodeId,
+                                      crypto::Rng&) const override {
+    auction::Bid bad = true_bid;
+    bad.demand = Money::from_units(2'000'000);  // 2x BidLimits::max_demand
+    return bad;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<BidderBehaviour> malformed_bidder() {
+  return std::make_shared<Malformed>();
+}
+
+std::shared_ptr<BidderBehaviour> out_of_range_bidder() {
+  return std::make_shared<OutOfRange>();
+}
+
+std::shared_ptr<BidderBehaviour> bidder_behaviour_by_name(
+    std::string_view name, std::size_t providers) {
+  if (name == "honest") return honest_bidder();
+  if (name == "silent") return silent_bidder();
+  if (name == "malformed") return malformed_bidder();
+  if (name == "out-of-range") return out_of_range_bidder();
+  if (name == "invalid") return invalid_bidder();
+  if (name == "random") return random_bidder();
+  if (name == "equivocate") {
+    return equivocating_bidder(static_cast<NodeId>(providers / 2));
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& bidder_behaviour_names() {
+  static const std::vector<std::string> names = {
+      "honest", "silent",  "malformed", "out-of-range",
+      "invalid", "random", "equivocate"};
+  return names;
+}
+
+}  // namespace dauct::adversary

@@ -1,0 +1,51 @@
+// Bidder-side adversaries for the fuzzer (ISSUE 10): named wrappers over
+// the scriptable BidderBehaviour layer plus wire-level bid-frame tricks.
+//
+// Definition 1's promise is that a deviant *bidder* can never corrupt the
+// honest providers' agreement: malformed and out-of-range bids are replaced
+// by the neutral bid during bid agreement (auction::BidLimits::valid), a
+// silent bidder is a deadline miss, and replayed/reordered bid frames are
+// absorbed by the reliability layer's dedup and the engines' started-guard.
+// The fuzzer samples these behaviours via [knobs] p_bidder_adversary and the
+// safety oracle checks the run still matches its clean twin — exactly,
+// because the clean twin keeps the same bidder script (the exclusion of a
+// deviant bidder's bids is part of the auction's defined outcome, not a
+// fault to strip).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/bidder_behaviour.hpp"
+
+namespace dauct::adversary {
+
+/// Structurally broken bid: zero demand with a nonsense negative value —
+/// is_neutral() yet value-carrying, probing the sanitize path's edge.
+std::shared_ptr<BidderBehaviour> malformed_bidder();
+
+/// Demand far beyond BidLimits::max_demand (invalid → neutral substitution).
+std::shared_ptr<BidderBehaviour> out_of_range_bidder();
+
+/// Wire-level tricks applied where the client injects bid frames. Both are
+/// behaviour-preserving for honest providers: replays dedup away (or hit the
+/// engines' started-guard), reordering only permutes per-provider delivery.
+struct BidFrameAdversary {
+  bool replay = false;   ///< inject every bid frame twice
+  bool reorder = false;  ///< walk providers in reverse order
+  bool any() const { return replay || reorder; }
+};
+
+/// Registry mapping scenario / fuzzer behaviour names to behaviours.
+/// `providers` parameterizes equivocate's split (= providers / 2).
+/// Returns null for an unknown name — scenario validation fails fast on it.
+std::shared_ptr<BidderBehaviour> bidder_behaviour_by_name(
+    std::string_view name, std::size_t providers);
+
+/// Every name bidder_behaviour_by_name accepts, for diagnostics and the
+/// fuzzer's draw table.
+const std::vector<std::string>& bidder_behaviour_names();
+
+}  // namespace dauct::adversary

@@ -13,7 +13,9 @@ namespace {
 
 /// The removable fault clauses of a scenario, flattened into one index
 /// space for ddmin: [links | cuts | partitions | crashes | deviations |
-/// auth_adversary]. The order is load-bearing only for determinism.
+/// auth_adversary | bidders | bid_replay | bid_reorder | wal_fault]. New
+/// clause kinds append AFTER the existing ones so old minimizations keep
+/// their index meaning. The order is load-bearing only for determinism.
 struct ClausePool {
   std::vector<sim::LinkFault> links;
   std::vector<sim::LinkCut> cuts;
@@ -22,6 +24,11 @@ struct ClausePool {
   std::vector<DeviationSpec> deviations;
   bool has_adversary = false;
   adversary::AuthAdversaryConfig adversary;
+  std::vector<BidderSpec> bidders;
+  bool has_replay = false;
+  bool has_reorder = false;
+  bool has_wal_fault = false;
+  store::StorageFaultConfig wal_fault;
 
   explicit ClausePool(const Scenario& sc)
       : links(sc.faults.links),
@@ -30,11 +37,18 @@ struct ClausePool {
         crashes(sc.faults.crashes),
         deviations(sc.deviations),
         has_adversary(sc.auth_adversary.node != kNoNode),
-        adversary(sc.auth_adversary) {}
+        adversary(sc.auth_adversary),
+        bidders(sc.bidders),
+        has_replay(sc.bid_frames.replay),
+        has_reorder(sc.bid_frames.reorder),
+        has_wal_fault(sc.wal_fault.enable),
+        wal_fault(sc.wal_fault) {}
 
   std::size_t size() const {
     return links.size() + cuts.size() + partitions.size() + crashes.size() +
-           deviations.size() + (has_adversary ? 1 : 0);
+           deviations.size() + (has_adversary ? 1 : 0) + bidders.size() +
+           (has_replay ? 1 : 0) + (has_reorder ? 1 : 0) +
+           (has_wal_fault ? 1 : 0);
   }
 
   /// `base` with only the clauses named by `keep` (sorted indices).
@@ -46,6 +60,9 @@ struct ClausePool {
     sc.faults.crashes.clear();
     sc.deviations.clear();
     sc.auth_adversary = {};
+    sc.bidders.clear();
+    sc.bid_frames = {};
+    sc.wal_fault = {};
     for (std::size_t i : keep) {
       if (i < links.size()) {
         sc.faults.links.push_back(links[i]);
@@ -71,7 +88,37 @@ struct ClausePool {
         sc.deviations.push_back(deviations[i]);
         continue;
       }
-      sc.auth_adversary = adversary;
+      i -= deviations.size();
+      if (has_adversary && i == 0) {
+        sc.auth_adversary = adversary;
+        continue;
+      }
+      i -= has_adversary ? 1 : 0;
+      if (i < bidders.size()) {
+        sc.bidders.push_back(bidders[i]);
+        continue;
+      }
+      i -= bidders.size();
+      if (has_replay && i == 0) {
+        sc.bid_frames.replay = true;
+        continue;
+      }
+      i -= has_replay ? 1 : 0;
+      if (has_reorder && i == 0) {
+        sc.bid_frames.reorder = true;
+        continue;
+      }
+      sc.wal_fault = wal_fault;
+    }
+    // Parse-validity invariant: the lying disk only arms at an amnesia
+    // crash, so if ddmin dropped the last amnesia crash (but kept the
+    // wal_fault clause) the knob is dead weight — clear it.
+    if (sc.wal_fault.enable &&
+        std::none_of(sc.faults.crashes.begin(), sc.faults.crashes.end(),
+                     [](const sim::CrashEvent& c) {
+                       return c.mode == sim::CrashMode::kAmnesia;
+                     })) {
+      sc.wal_fault = {};
     }
     return sc;
   }
@@ -180,7 +227,19 @@ Scenario scenario_from_case(const sim::FuzzCase& c) {
                                  : adversary::AuthTamperMode::kReplay;
   }
   for (const sim::FuzzCase::Deviation& d : c.deviations) {
-    sc.deviations.push_back(DeviationSpec{d.node, d.strategy, kZeroMoney});
+    sc.deviations.push_back(DeviationSpec{d.node, d.strategy, kZeroMoney, d.instance});
+  }
+  for (const sim::FuzzCase::BidderAdversary& a : c.bidder_adversaries) {
+    sc.bidders.push_back(BidderSpec{a.bidder, a.behaviour});
+  }
+  sc.bid_frames.replay = c.bid_replay;
+  sc.bid_frames.reorder = c.bid_reorder;
+  if (c.wal_corrupt) {
+    sc.wal_fault.enable = true;
+    sc.wal_fault.seed = c.wal_fault_seed;
+    sc.wal_fault.sync_drop = c.wal_sync_drop;
+    sc.wal_fault.torn = c.wal_torn;
+    sc.wal_fault.flip = c.wal_flip;
   }
   sc.instances = c.instances;
   sc.pipeline_depth = c.pipeline_depth;
@@ -207,6 +266,43 @@ FuzzReport run_oracle(const Scenario& sc) {
     report.verdict = FuzzVerdict::kBudgetExceeded;
     report.detail = "event budget exhausted with events still queued";
     return report;
+  }
+  // [service]: per-instance verdicts, swept even when the aggregate is ⊥ —
+  // an aggregate ⊥ (digest "") must not mask a silently-wrong surviving
+  // instance. Each cleared instance must hit the clean twin's SAME-instance
+  // digest; a ⊥ instance is an allowed explicit abort.
+  if (r.service && r.clean_service) {
+    for (std::size_t i = 0; i < r.service->instances.size(); ++i) {
+      const InstanceRunResult& inst = r.service->instances[i];
+      FuzzReport::InstanceVerdict iv;
+      iv.id = inst.id;
+      if (!inst.outcome.ok()) {
+        iv.detail = std::string("explicit bottom: ") +
+                    abort_reason_name(inst.outcome.bottom().reason);
+      } else if (i >= r.clean_service->instances.size()) {
+        iv.verdict = FuzzVerdict::kCleanFailed;
+        iv.detail = "clean twin never launched this instance";
+      } else {
+        const std::string faulty = instance_result_digest(inst);
+        const std::string clean =
+            instance_result_digest(r.clean_service->instances[i]);
+        if (faulty != clean) {
+          iv.verdict = FuzzVerdict::kWrongResult;
+          iv.detail = "instance " + std::to_string(inst.id) +
+                      " cleared with digest " + faulty + " != clean " + clean;
+        } else {
+          iv.detail = "ok, matches clean instance (" + faulty + ")";
+        }
+      }
+      report.instance_verdicts.push_back(std::move(iv));
+    }
+    for (const auto& iv : report.instance_verdicts) {
+      if (fuzz_violation(iv.verdict)) {
+        report.verdict = iv.verdict;
+        report.detail = iv.detail;
+        return report;
+      }
+    }
   }
   if (r.run.global_outcome.ok()) {
     if (r.result_digest != r.clean_digest) {
@@ -261,6 +357,13 @@ MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
     changed = false;
     for (std::size_t i = 0; i < sc.faults.links.size(); ++i) {
       sim::LinkFault& f = sc.faults.links[i];
+      // Instance filters generalize away first: a rule that still fails when
+      // applied to EVERY instance shouldn't carry the narrowing.
+      if (f.instance != sim::kAnyInstance) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.links[i].instance = sim::kAnyInstance;
+        });
+      }
       if (f.active_from != sim::kSimStart || f.active_until != sim::kSimForever) {
         changed |= try_step(sc, [i](Scenario& s) {
           s.faults.links[i].active_from = sim::kSimStart;
@@ -290,6 +393,11 @@ MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
     }
     for (std::size_t i = 0; i < sc.faults.cuts.size(); ++i) {
       sim::LinkCut& cut = sc.faults.cuts[i];
+      if (cut.instance != sim::kAnyInstance) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.cuts[i].instance = sim::kAnyInstance;
+        });
+      }
       if (cut.from != sim::kSimStart || cut.until != sim::kSimForever) {
         changed |= try_step(sc, [i](Scenario& s) {
           s.faults.cuts[i].from = sim::kSimStart;
@@ -299,6 +407,11 @@ MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
     }
     for (std::size_t i = 0; i < sc.faults.partitions.size(); ++i) {
       sim::Partition& p = sc.faults.partitions[i];
+      if (p.instance != sim::kAnyInstance) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.faults.partitions[i].instance = sim::kAnyInstance;
+        });
+      }
       if (p.from != sim::kSimStart || p.until != sim::kSimForever) {
         changed |= try_step(sc, [i](Scenario& s) {
           s.faults.partitions[i].from = sim::kSimStart;
@@ -306,28 +419,99 @@ MinimizeResult minimize(const Scenario& failing, FuzzVerdict verdict,
         });
       }
     }
+    for (std::size_t i = 0; i < sc.deviations.size(); ++i) {
+      if (sc.deviations[i].instance != sim::kAnyInstance) {
+        changed |= try_step(sc, [i](Scenario& s) {
+          s.deviations[i].instance = sim::kAnyInstance;
+        });
+      }
+    }
     for (std::size_t i = 0; i < sc.faults.crashes.size(); ++i) {
       sim::CrashEvent& crash = sc.faults.crashes[i];
       // Simplify amnesia to plain crash-recover first: if the failure
       // survives without the WAL-replay machinery, the repro shouldn't
-      // drag it in.
+      // drag it in. (When the step retires the last amnesia crash, the
+      // lying disk has no crash to arm at — drop it with the mode, so the
+      // candidate stays parse-valid.)
+      const auto clear_dead_wal_fault = [](Scenario& s) {
+        if (s.wal_fault.enable &&
+            std::none_of(s.faults.crashes.begin(), s.faults.crashes.end(),
+                         [](const sim::CrashEvent& c) {
+                           return c.mode == sim::CrashMode::kAmnesia;
+                         })) {
+          s.wal_fault = {};
+        }
+      };
       if (crash.mode == sim::CrashMode::kAmnesia) {
-        changed |= try_step(sc, [i](Scenario& s) {
+        changed |= try_step(sc, [i, &clear_dead_wal_fault](Scenario& s) {
           s.faults.crashes[i].mode = sim::CrashMode::kRecover;
+          clear_dead_wal_fault(s);
         });
       }
       if (crash.recover_at != sim::kSimForever) {
         // A crash that never recovers cannot be amnesia (the .scn validator
         // rejects mode=amnesia without recover_ms), so widening the down
         // window to forever resets the mode too.
-        changed |= try_step(sc, [i](Scenario& s) {
+        changed |= try_step(sc, [i, &clear_dead_wal_fault](Scenario& s) {
           s.faults.crashes[i].recover_at = sim::kSimForever;
           s.faults.crashes[i].mode = sim::CrashMode::kRecover;
+          clear_dead_wal_fault(s);
         });
       }
       if (crash.at > 0) {
         changed |= try_step(sc, [i](Scenario& s) {
           s.faults.crashes[i].at = halve_time(s.faults.crashes[i].at);
+        });
+      }
+    }
+    // Lying-disk knobs shrink like link rates: halve on the 1e-4 grid.
+    if (sc.wal_fault.enable) {
+      for (double store::StorageFaultConfig::*knob :
+           {&store::StorageFaultConfig::sync_drop,
+            &store::StorageFaultConfig::torn, &store::StorageFaultConfig::flip}) {
+        if (halve_rate(sc.wal_fault.*knob) > 0.0) {
+          changed |= try_step(sc, [knob](Scenario& s) {
+            s.wal_fault.*knob = halve_rate(s.wal_fault.*knob);
+          });
+        }
+      }
+    }
+    // [service] shape shrinks toward the single-run floor: halve the
+    // instance count (clamped so every surviving instance filter and the
+    // pipeline depth stay valid), then the depth toward 1.
+    if (sc.instances > 1) {
+      std::uint64_t floor_needed = 0;  // smallest count the filters allow
+      for (const auto& r : sc.faults.links) {
+        if (r.instance != sim::kAnyInstance) {
+          floor_needed = std::max(floor_needed, r.instance + 1);
+        }
+      }
+      for (const auto& c : sc.faults.cuts) {
+        if (c.instance != sim::kAnyInstance) {
+          floor_needed = std::max(floor_needed, c.instance + 1);
+        }
+      }
+      for (const auto& p : sc.faults.partitions) {
+        if (p.instance != sim::kAnyInstance) {
+          floor_needed = std::max(floor_needed, p.instance + 1);
+        }
+      }
+      for (const auto& d : sc.deviations) {
+        if (d.instance != sim::kAnyInstance) {
+          floor_needed = std::max(floor_needed, d.instance + 1);
+        }
+      }
+      const std::size_t target = std::max<std::size_t>(
+          {static_cast<std::size_t>(floor_needed), sc.pipeline_depth,
+           sc.instances / 2, 2});
+      if (target < sc.instances) {
+        changed |= try_step(sc, [target](Scenario& s) {
+          s.instances = target;
+        });
+      }
+      if (sc.pipeline_depth > 1) {
+        changed |= try_step(sc, [](Scenario& s) {
+          s.pipeline_depth = std::max<std::size_t>(1, s.pipeline_depth / 2);
         });
       }
     }

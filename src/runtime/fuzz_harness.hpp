@@ -46,10 +46,24 @@ Scenario scenario_from_case(const sim::FuzzCase& c);
 
 /// One oracle evaluation: the faulty run, its forced clean twin, and the
 /// verdict.
+///
+/// [service] runs additionally get one verdict PER INSTANCE: every instance
+/// that cleared (x, p⃗) must reproduce the clean twin's SAME-instance digest
+/// (kWrongResult otherwise), and a faulted instance may ⊥ only with an
+/// explicit reason. The per-instance sweep runs even when the aggregate is ⊥
+/// — an aggregate ⊥ (digest "") would otherwise mask a silently-wrong
+/// surviving instance, exactly the corruption instance isolation promises
+/// cannot happen. The overall verdict is the worst instance verdict.
 struct FuzzReport {
+  struct InstanceVerdict {
+    std::uint64_t id = 0;
+    FuzzVerdict verdict = FuzzVerdict::kPass;
+    std::string detail;
+  };
   FuzzVerdict verdict = FuzzVerdict::kPass;
   ScenarioRun run;      ///< includes the clean twin (always forced)
   std::string detail;   ///< one human-readable line on the verdict
+  std::vector<InstanceVerdict> instance_verdicts;  ///< [service] runs only
 };
 FuzzReport run_oracle(const Scenario& sc);
 

@@ -1,8 +1,10 @@
 #include "runtime/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <set>
 
 #include "auction/workload.hpp"
 #include "core/adapters.hpp"
@@ -165,6 +167,10 @@ bool parse_cut_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_time_ms(kv.value);
       if (!v) return ctx.bad_value(kv);
       (kv.key == "from_ms" ? cut.from : cut.until) = *v;
+    } else if (kv.key == "instance") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == sim::kAnyInstance) return ctx.bad_value(kv);
+      cut.instance = *v;
     } else {
       return ctx.unknown_key("cut", kv);
     }
@@ -196,6 +202,10 @@ bool parse_partition_section(ParseCtx& ctx, const serde::IniSection& sec) {
       const auto v = to_time_ms(kv.value);
       if (!v) return ctx.bad_value(kv);
       (kv.key == "from_ms" ? part.from : part.until) = *v;
+    } else if (kv.key == "instance") {
+      const auto v = to_u64(kv.value);
+      if (!v || *v == sim::kAnyInstance) return ctx.bad_value(kv);
+      part.instance = *v;
     } else {
       return ctx.unknown_key("partition", kv);
     }
@@ -285,7 +295,8 @@ bool parse_reliability_section(ParseCtx& ctx, const serde::IniSection& sec) {
 }
 
 bool parse_wal_section(ParseCtx& ctx, const serde::IniSection& sec) {
-  bool knobs = false;  // any key besides enable
+  bool knobs = false;         // any key besides enable
+  bool corrupt_knobs = false; // any corrupt sub-knob besides corrupt itself
   for (const auto& kv : sec.entries) {
     if (kv.key == "enable") {
       const auto v = to_bool(kv.value);
@@ -296,6 +307,23 @@ bool parse_wal_section(ParseCtx& ctx, const serde::IniSection& sec) {
       if (!v) return ctx.bad_value(kv);
       ctx.sc.wal.snapshot_every = static_cast<std::size_t>(*v);
       knobs = true;
+    } else if (kv.key == "corrupt") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.wal_fault.enable = *v;
+      knobs = knobs || *v;
+    } else if (kv.key == "corrupt_seed") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      ctx.sc.wal_fault.seed = *v;
+      knobs = corrupt_knobs = true;
+    } else if (kv.key == "sync_drop" || kv.key == "torn" || kv.key == "flip") {
+      const auto v = to_probability(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      if (kv.key == "sync_drop") ctx.sc.wal_fault.sync_drop = *v;
+      else if (kv.key == "torn") ctx.sc.wal_fault.torn = *v;
+      else ctx.sc.wal_fault.flip = *v;
+      knobs = corrupt_knobs = true;
     } else {
       return ctx.unknown_key("wal", kv);
     }
@@ -306,6 +334,61 @@ bool parse_wal_section(ParseCtx& ctx, const serde::IniSection& sec) {
     return ctx.fail(sec.line,
                     "[wal] sets tuning knobs without enable=true; they would "
                     "silently do nothing");
+  }
+  if (corrupt_knobs && !ctx.sc.wal_fault.enable) {
+    return ctx.fail(sec.line,
+                    "[wal] sets corrupt knobs without corrupt=true; they "
+                    "would silently do nothing");
+  }
+  if (ctx.sc.wal_fault.torn + ctx.sc.wal_fault.flip > 1.0) {
+    return ctx.fail(sec.line,
+                    "[wal] torn + flip must not exceed 1 (a crash draws one "
+                    "damage mode)");
+  }
+  return true;
+}
+
+bool parse_bidder_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  BidderSpec spec;
+  bool have_bidder = false;
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "bidder") {
+      const auto v = to_u64(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      spec.bidder = static_cast<BidderId>(*v);
+      have_bidder = true;
+    } else if (kv.key == "behaviour") {
+      const auto& names = adversary::bidder_behaviour_names();
+      if (std::find(names.begin(), names.end(), kv.value) == names.end()) {
+        return ctx.fail(kv.line, "unknown bidder behaviour '" + kv.value + "'");
+      }
+      spec.behaviour = kv.value;
+    } else {
+      return ctx.unknown_key("bidder", kv);
+    }
+  }
+  if (!have_bidder || spec.behaviour.empty()) {
+    return ctx.fail(sec.line, "[bidder] needs 'bidder' and 'behaviour'");
+  }
+  ctx.sc.bidders.push_back(std::move(spec));
+  return true;
+}
+
+bool parse_bid_frames_section(ParseCtx& ctx, const serde::IniSection& sec) {
+  for (const auto& kv : sec.entries) {
+    if (kv.key == "replay" || kv.key == "reorder") {
+      const auto v = to_bool(kv.value);
+      if (!v) return ctx.bad_value(kv);
+      (kv.key == "replay" ? ctx.sc.bid_frames.replay
+                          : ctx.sc.bid_frames.reorder) = *v;
+    } else {
+      return ctx.unknown_key("bid_frames", kv);
+    }
+  }
+  // A no-trick section would silently do nothing — config mistake, fail fast.
+  if (!ctx.sc.bid_frames.any()) {
+    return ctx.fail(sec.line,
+                    "[bid_frames] needs replay=true or reorder=true");
   }
   return true;
 }
@@ -531,6 +614,10 @@ SimRunResult aggregate_service(const ServiceRunResult& s) {
 
 }  // namespace
 
+std::string instance_result_digest(const InstanceRunResult& inst) {
+  return digest_of_instance(inst);
+}
+
 const std::vector<std::string>& deviation_strategy_names() {
   static const std::vector<std::string> names = {
       "honest",           "corrupt-coin-reveal", "equivocate-votes",
@@ -616,6 +703,9 @@ std::string Scenario::to_scn() const {
     kv("b", node_str(c.b));
     time_kv("from_ms", c.from, sim::kSimStart);
     time_kv("until_ms", c.until, sim::kSimForever);
+    if (c.instance != sim::kAnyInstance) {
+      kv("instance", std::to_string(c.instance));
+    }
   }
   for (const auto& p : faults.partitions) {
     out += "\n[partition]\n";
@@ -627,6 +717,9 @@ std::string Scenario::to_scn() const {
     kv("group", group);
     time_kv("from_ms", p.from, sim::kSimStart);
     time_kv("until_ms", p.until, sim::kSimForever);
+    if (p.instance != sim::kAnyInstance) {
+      kv("instance", std::to_string(p.instance));
+    }
   }
   for (const auto& c : faults.crashes) {
     out += "\n[crash]\n";
@@ -651,10 +744,22 @@ std::string Scenario::to_scn() const {
   }
   if (wal.enable) {
     const store::WalConfig d;
+    const store::StorageFaultConfig fd;
     out += "\n[wal]\n";
     kv("enable", "true");
     if (wal.snapshot_every != d.snapshot_every) {
       kv("snapshot_every", std::to_string(wal.snapshot_every));
+    }
+    if (wal_fault.enable) {
+      kv("corrupt", "true");
+      if (wal_fault.seed != fd.seed) {
+        kv("corrupt_seed", std::to_string(wal_fault.seed));
+      }
+      if (wal_fault.sync_drop != 0.0) {
+        kv("sync_drop", serde::format_f64(wal_fault.sync_drop));
+      }
+      if (wal_fault.torn != 0.0) kv("torn", serde::format_f64(wal_fault.torn));
+      if (wal_fault.flip != 0.0) kv("flip", serde::format_f64(wal_fault.flip));
     }
   }
   if (auth.enable) {
@@ -677,6 +782,16 @@ std::string Scenario::to_scn() const {
     if (dev.instance != sim::kAnyInstance) {
       kv("instance", std::to_string(dev.instance));
     }
+  }
+  for (const auto& b : bidders) {
+    out += "\n[bidder]\n";
+    kv("bidder", std::to_string(b.bidder));
+    kv("behaviour", b.behaviour);
+  }
+  if (bid_frames.any()) {
+    out += "\n[bid_frames]\n";
+    if (bid_frames.replay) kv("replay", "true");
+    if (bid_frames.reorder) kv("reorder", "true");
   }
 
   std::string exp;
@@ -742,6 +857,8 @@ ScenarioParse parse_scenario(std::string_view text) {
     else if (sec.name == "auth") ok = parse_auth_section(ctx, sec);
     else if (sec.name == "auth_adversary") ok = parse_auth_adversary_section(ctx, sec);
     else if (sec.name == "deviation") ok = parse_deviation_section(ctx, sec);
+    else if (sec.name == "bidder") ok = parse_bidder_section(ctx, sec);
+    else if (sec.name == "bid_frames") ok = parse_bid_frames_section(ctx, sec);
     else if (sec.name == "service") ok = parse_service_section(ctx, sec);
     else if (sec.name == "expect") ok = parse_expect_section(ctx, sec);
     else {
@@ -861,6 +978,30 @@ ScenarioParse parse_scenario(std::string_view text) {
                                 std::to_string(ctx.sc.instances) + ")"};
     }
   }
+  for (const auto& c : ctx.sc.faults.cuts) {
+    if (c.instance == sim::kAnyInstance) continue;
+    if (!service) {
+      return {std::nullopt, "[cut] instance= requires [service] instances > 1"};
+    }
+    if (c.instance >= ctx.sc.instances) {
+      return {std::nullopt, "[cut] instance " + std::to_string(c.instance) +
+                                " does not exist (instances = " +
+                                std::to_string(ctx.sc.instances) + ")"};
+    }
+  }
+  for (const auto& p : ctx.sc.faults.partitions) {
+    if (p.instance == sim::kAnyInstance) continue;
+    if (!service) {
+      return {std::nullopt,
+              "[partition] instance= requires [service] instances > 1"};
+    }
+    if (p.instance >= ctx.sc.instances) {
+      return {std::nullopt, "[partition] instance " +
+                                std::to_string(p.instance) +
+                                " does not exist (instances = " +
+                                std::to_string(ctx.sc.instances) + ")"};
+    }
+  }
   for (const auto& dev : ctx.sc.deviations) {
     if (dev.instance == sim::kAnyInstance) continue;
     if (!service) {
@@ -873,6 +1014,34 @@ ScenarioParse parse_scenario(std::string_view text) {
                                 " does not exist (instances = " +
                                 std::to_string(ctx.sc.instances) + ")"};
     }
+  }
+  // [bidder] sanity: the id must be one of the scenario's users, and two
+  // sections naming the same bidder would silently shadow each other.
+  {
+    std::set<BidderId> seen;
+    for (const auto& b : ctx.sc.bidders) {
+      if (b.bidder >= ctx.sc.users) {
+        return {std::nullopt, "[bidder] bidder " + std::to_string(b.bidder) +
+                                  " does not exist (users = " +
+                                  std::to_string(ctx.sc.users) + ")"};
+      }
+      if (!seen.insert(b.bidder).second) {
+        return {std::nullopt, "[bidder] bidder " + std::to_string(b.bidder) +
+                                  " appears in more than one [bidder] section"};
+      }
+    }
+  }
+  // [wal] corrupt damages the live tail at an amnesia crash; without one it
+  // would never fire — a config mistake, not a request. (enable=true is
+  // already enforced section-locally, and amnesia implies no [service].)
+  if (ctx.sc.wal_fault.enable &&
+      std::none_of(ctx.sc.faults.crashes.begin(), ctx.sc.faults.crashes.end(),
+                   [](const sim::CrashEvent& c) {
+                     return c.mode == sim::CrashMode::kAmnesia;
+                   })) {
+    return {std::nullopt,
+            "[wal] corrupt=true requires a [crash] with mode=amnesia (the "
+            "lying disk only damages the tail at an amnesia crash)"};
   }
   if (!service && ctx.sc.expect.min_instances_ok) {
     return {std::nullopt,
@@ -959,6 +1128,12 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
   cfg.wal = scenario.wal;
   cfg.auth = scenario.auth;
   cfg.auth_adversary = scenario.auth_adversary;
+  cfg.bid_frames = scenario.bid_frames;
+  cfg.wal_fault = scenario.wal_fault;
+  for (const auto& b : scenario.bidders) {
+    cfg.bidder_script[b.bidder] =
+        adversary::bidder_behaviour_by_name(b.behaviour, scenario.providers);
+  }
   std::vector<NodeId> coalition;
   for (const auto& dev : scenario.deviations) coalition.push_back(dev.node);
   for (const auto& dev : scenario.deviations) {
@@ -984,10 +1159,12 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
       clean_svc.base.faults.reset();
       clean_svc.deviations.clear();
       clean_svc.base.auth_adversary = {};  // keeps auth (and wal), loses the attacker
-      const ServiceRunResult clean =
-          ServiceRuntime(clean_svc).run(*auctioneer, workloads);
+      clean_svc.base.bid_frames = {};      // frame tricks are faults too
+      clean_svc.base.wal_fault = {};       // ...and so is the lying disk
+      ServiceRunResult clean = ServiceRuntime(clean_svc).run(*auctioneer, workloads);
       out.clean_digest = digest_of_service(clean);
       out.clean = aggregate_service(clean);
+      out.clean_service = std::move(clean);
     }
   } else {
     SimRuntime rt(cfg);
@@ -998,6 +1175,8 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
       clean_cfg.faults.reset();
       clean_cfg.deviations.clear();
       clean_cfg.auth_adversary = {};  // the twin keeps auth (and wal), loses the attacker
+      clean_cfg.bid_frames = {};      // frame tricks are faults too
+      clean_cfg.wal_fault = {};       // ...and so is the lying disk
       out.clean = SimRuntime(clean_cfg).run_distributed(*auctioneer, instance);
       out.clean_digest = digest_of(*out.clean);
     }
@@ -1105,6 +1284,8 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin) {
       twin_cfg.faults.reset();
       twin_cfg.deviations.clear();
       twin_cfg.auth_adversary = {};
+      twin_cfg.bid_frames = {};
+      twin_cfg.wal_fault = {};
       const SimRunResult twin =
           SimRuntime(twin_cfg).run_distributed(*auctioneer, workloads[inst.id]);
       if (digest_of(twin) != digest_of_instance(inst)) {

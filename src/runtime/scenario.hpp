@@ -42,6 +42,13 @@ struct DeviationSpec {
   std::uint64_t instance = sim::kAnyInstance;
 };
 
+/// One adversarial bidder ([bidder] section): which user deviates and how.
+/// Behaviour names resolve through adversary::bidder_behaviour_by_name.
+struct BidderSpec {
+  BidderId bidder = 0;
+  std::string behaviour;
+};
+
 /// Assertions evaluated after the run; unset fields are not checked.
 struct ScenarioExpect {
   enum class Outcome { kUnspecified, kOk, kBottom };
@@ -101,6 +108,18 @@ struct Scenario {
   /// [auth_adversary]: wire-level forge/replay injection (needs [auth]).
   adversary::AuthAdversaryConfig auth_adversary;
   std::vector<DeviationSpec> deviations;
+  /// [bidder] (repeatable): adversarial bidders. Definition 1 promises the
+  /// honest providers' agreement excludes their bids; the clean twin KEEPS
+  /// the bidder script (the exclusion is the auction's defined outcome, not
+  /// a fault to strip), so matches_clean stays exact.
+  std::vector<BidderSpec> bidders;
+  /// [bid_frames]: wire-level bid-frame tricks at the client's injection
+  /// point. The clean twin drops these (they are faults, not inputs).
+  adversary::BidFrameAdversary bid_frames;
+  /// [wal] corrupt knobs (store::FaultyStorage): in-flight fsync drops plus
+  /// crash damage on amnesia nodes. Requires enable=true and an amnesia
+  /// crash; the clean twin drops it.
+  store::StorageFaultConfig wal_fault;
   ScenarioExpect expect;
 
   /// Serialize back to .scn text that re-parses to an equivalent scenario
@@ -132,6 +151,9 @@ struct ScenarioRun {
   SimRunResult run;                     ///< the faulty/deviant run (aggregate)
   std::optional<SimRunResult> clean;    ///< fault-free twin, when compared
   std::optional<ServiceRunResult> service;  ///< per-instance view, [service] runs
+  /// Fault-free twin's per-instance view ([service] runs, when the twin ran):
+  /// what the fuzz oracle's per-instance verdicts compare against.
+  std::optional<ServiceRunResult> clean_service;
   std::string result_digest;            ///< sha256 hex of the result; "" if ⊥
   std::string clean_digest;             ///< same, for the twin
   std::vector<std::string> failures;    ///< violated expectations
@@ -146,5 +168,10 @@ ScenarioRun run_scenario(const Scenario& scenario, bool force_clean_twin = false
 
 /// Names accepted by [deviation] strategy= (for --help and error messages).
 const std::vector<std::string>& deviation_strategy_names();
+
+/// Per-instance result digest (sha256 hex; "" if the instance is ⊥) — the
+/// value the per-instance oracle verdicts and instances_match_twins compare
+/// against an instance's standalone twin.
+std::string instance_result_digest(const InstanceRunResult& inst);
 
 }  // namespace dauct::runtime

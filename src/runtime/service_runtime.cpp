@@ -77,15 +77,17 @@ ServiceRunResult ServiceRuntime::run(
     // link's rl/* control frames and the epoch-0 svc/bids batch are outside
     // every instance namespace by construction.
     sim::FaultPlan plan = *base.faults;
-    for (auto& r : plan.links) {
-      if (r.instance == sim::kAnyInstance) continue;
-      if (identity || r.instance >= N) {
-        r.topic_scope = "\x01";  // matches no topic: rule is inert
+    const auto compile_scope = [&](std::uint64_t instance, std::string& scope) {
+      if (instance == sim::kAnyInstance) return;
+      if (identity || instance >= N) {
+        scope = "\x01";  // matches no topic: rule is inert
       } else {
-        r.topic_scope = core::instance_topic_prefix(r.instance % D,
-                                                    gen_of(r.instance));
+        scope = core::instance_topic_prefix(instance % D, gen_of(instance));
       }
-    }
+    };
+    for (auto& r : plan.links) compile_scope(r.instance, r.topic_scope);
+    for (auto& c : plan.cuts) compile_scope(c.instance, c.topic_scope);
+    for (auto& p : plan.partitions) compile_scope(p.instance, p.topic_scope);
     scheduler.install_fault_plan(plan);
   }
 
@@ -380,12 +382,19 @@ ServiceRunResult ServiceRuntime::run(
     auto per_provider = make_submissions(t);
     const net::Topic topic =
         inst.topics ? inst.topics->scope(bids_topic) : bids_topic;
-    for (NodeId j = 0; j < m; ++j) {
-      net::Message msg{client, j, topic, SharedBytes(std::move(per_provider[j]))};
-      if (at_start) {
-        scheduler.inject(sim::kSimStart, std::move(msg));
-      } else {
-        scheduler.send(std::move(msg));
+    // Frame tricks (adversary/bidder_adversary.hpp): submissions above were
+    // drawn in canonical order, so only the injection order/count changes.
+    for (NodeId idx = 0; idx < m; ++idx) {
+      const NodeId j =
+          base.bid_frames.reorder ? static_cast<NodeId>(m - 1 - idx) : idx;
+      const int copies = base.bid_frames.replay ? 2 : 1;
+      for (int rep = 0; rep < copies; ++rep) {
+        net::Message msg{client, j, topic, SharedBytes(per_provider[j])};
+        if (at_start) {
+          scheduler.inject(sim::kSimStart, std::move(msg));
+        } else {
+          scheduler.send(std::move(msg));
+        }
       }
     }
   };
@@ -519,15 +528,21 @@ ServiceRunResult ServiceRuntime::run(
   if (initial >= 2) {
     std::vector<std::vector<Bytes>> subs(initial);
     for (core::InstanceId t = 0; t < initial; ++t) subs[t] = make_submissions(t);
-    for (NodeId j = 0; j < m; ++j) {
+    for (NodeId idx = 0; idx < m; ++idx) {
+      const NodeId j =
+          base.bid_frames.reorder ? static_cast<NodeId>(m - 1 - idx) : idx;
       serde::Writer w;
       w.varint(initial);
       for (core::InstanceId t = 0; t < initial; ++t) {
         w.varint(t);
         w.bytes(BytesView(subs[t][j]));
       }
-      scheduler.inject(sim::kSimStart,
-                       net::Message{client, j, batch_topic, w.take()});
+      const Bytes frame = w.take();
+      const int copies = base.bid_frames.replay ? 2 : 1;
+      for (int rep = 0; rep < copies; ++rep) {
+        scheduler.inject(sim::kSimStart,
+                         net::Message{client, j, batch_topic, frame});
+      }
     }
   } else {
     send_bids(0, /*at_start=*/true);

@@ -96,6 +96,10 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   // rebuild destroys are folded into accumulators so the run totals survive.
   const bool wal_on = config_.wal.enable;
   std::vector<std::shared_ptr<store::MemStorage>> storages(wal_on ? m : 0);
+  // Lying-disk decorators (store::FaultyStorage), armed per amnesia-crashing
+  // node when wal_fault is enabled. The Wal writes through the decorator;
+  // the MemStorage underneath is still the "disk" that survives the crash.
+  std::vector<std::shared_ptr<store::FaultyStorage>> faulty_disks(wal_on ? m : 0);
   std::vector<std::unique_ptr<store::Wal>> wals(wal_on ? m : 0);
   std::vector<bool> replaying(m, false);
   std::vector<std::uint64_t> wal_delivered(m, 0);
@@ -294,11 +298,27 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
     c.engine = auctioneer.make_engine(*ep, ask);
   };
 
+  const auto has_amnesia_crash = [&](NodeId j) {
+    if (!config_.faults) return false;
+    for (const auto& c : config_.faults->crashes) {
+      if (c.node == j && c.mode == sim::CrashMode::kAmnesia) return true;
+    }
+    return false;
+  };
+  const auto wal_sink = [&](NodeId j) -> std::shared_ptr<store::Storage> {
+    if (faulty_disks[j]) return faulty_disks[j];
+    return storages[j];
+  };
   for (NodeId j = 0; j < m; ++j) {
     build_chain(j);
     if (wal_on) {
       storages[j] = std::make_shared<store::MemStorage>();
-      wals[j] = std::make_unique<store::Wal>(storages[j]);
+      if (config_.wal_fault.enable && has_amnesia_crash(j)) {
+        store::StorageFaultConfig fc = config_.wal_fault;
+        fc.seed = config_.wal_fault.seed ^ (0x57a6e000u + j);  // per-node stream
+        faulty_disks[j] = std::make_shared<store::FaultyStorage>(storages[j], fc);
+      }
+      wals[j] = std::make_unique<store::Wal>(wal_sink(j));
       wals[j]->open();  // fresh storage: nothing to scan
       const Bytes enc = store::encode_meta(expected_meta(j));
       wals[j]->append(store::RecordType::kMeta, BytesView(enc));
@@ -318,7 +338,11 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
     started[j] = false;  // re-derived by replay (the bids batch is in the log)
     chains[j] = NodeChain{};
     build_chain(j);
-    wals[j] = std::make_unique<store::Wal>(storages[j]);
+    // Power-loss damage lands now, before the log is reopened: no appends
+    // happen inside the down window (the injector drops deliveries to a down
+    // node), so damaging at the rebuild instant ≡ damaging at the crash.
+    if (faulty_disks[j]) faulty_disks[j]->crash();
+    wals[j] = std::make_unique<store::Wal>(wal_sink(j));
     const store::WalScan scan = wals[j]->open();
     // Identity gate: a log that does not name this exact run and node is
     // foreign state — replaying it would silently diverge. Cannot happen
@@ -431,6 +455,10 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   // prototype.
   crypto::Rng bidder_rng(config_.seed ^ 0xb1dde5u);
   const auto honest = adversary::honest_bidder();
+  // Batches are always built in canonical forward order so behaviour RNG
+  // draws are identical whatever frame tricks follow — a reordered or
+  // replayed injection submits byte-identical bids to its trick-free twin.
+  std::vector<Bytes> batches(m);
   for (NodeId j = 0; j < m; ++j) {
     std::vector<std::optional<auction::Bid>> subs(n);
     for (std::size_t i = 0; i < n && i < instance.bids.size(); ++i) {
@@ -441,8 +469,16 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
       }
       subs[i] = behaviour->bid_for(instance.bids[i], j, bidder_rng);
     }
-    scheduler.inject(sim::kSimStart,
-                     net::Message{client, j, bids_topic, encode_submissions(subs)});
+    batches[j] = encode_submissions(subs);
+  }
+  for (NodeId idx = 0; idx < m; ++idx) {
+    const NodeId j = config_.bid_frames.reorder ? static_cast<NodeId>(m - 1 - idx)
+                                                : idx;
+    const int copies = config_.bid_frames.replay ? 2 : 1;
+    for (int rep = 0; rep < copies; ++rep) {
+      scheduler.inject(sim::kSimStart,
+                       net::Message{client, j, bids_topic, batches[j]});
+    }
   }
 
   const bool overflow = scheduler.run_some(config_.max_events);
@@ -502,6 +538,13 @@ SimRunResult SimRuntime::run_distributed(const core::DistributedAuctioneer& auct
   if (wal_on) {
     result.wal_stats = wal_stats_acc;
     for (const auto& w : wals) result.wal_stats += w->stats();
+    for (const auto& d : faulty_disks) {
+      if (!d) continue;
+      result.storage_fault_stats.syncs_dropped += d->stats().syncs_dropped;
+      result.storage_fault_stats.crashes += d->stats().crashes;
+      result.storage_fault_stats.torn_bytes += d->stats().torn_bytes;
+      result.storage_fault_stats.flipped_bytes += d->stats().flipped_bytes;
+    }
   }
   if (config_.auth.enable) {
     result.auth_stats = auth_stats;

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "adversary/auth_adversary.hpp"
+#include "adversary/bidder_adversary.hpp"
 #include "adversary/bidder_behaviour.hpp"
 #include "adversary/provider_deviation.hpp"
 #include "core/centralized_auctioneer.hpp"
@@ -42,6 +43,11 @@ struct SimRunConfig {
 
   /// Per-bidder behaviour overrides (default honest).
   adversary::BidderScript bidder_script;
+  /// Wire-level bid-frame tricks at the client's injection point
+  /// (adversary/bidder_adversary.hpp). Behaviour-draw order is canonical
+  /// (forward, per bidder then provider) regardless of tricks, so a run with
+  /// tricks submits byte-identical bids to its trick-free twin.
+  adversary::BidFrameAdversary bid_frames;
   /// Coalition members and their deviation strategies.
   std::map<NodeId, std::shared_ptr<adversary::DeviationStrategy>> deviations;
 
@@ -76,6 +82,12 @@ struct SimRunConfig {
   /// "disk" survives the crashed "process" deterministically.
   store::WalConfig wal;
 
+  /// In-flight WAL corruption (store::FaultyStorage): amnesia-crashing
+  /// nodes' storage is wrapped in the seeded lying-disk decorator, so
+  /// recovery replays from a damaged live tail. Only armed on nodes with an
+  /// amnesia crash in the fault plan; requires wal.enable.
+  store::StorageFaultConfig wal_fault;
+
   /// Safety valve against runaway simulations.
   std::uint64_t max_events = 50'000'000;
 };
@@ -89,6 +101,8 @@ struct SimRunResult {
   net::ReliabilityStats reliability_stats;  ///< summed over links; zeros when off
   net::AuthStats auth_stats;  ///< signing-layer counters; zeros when off
   store::WalStats wal_stats;  ///< write-ahead-log counters; zeros when off
+  /// Lying-disk counters (store::FaultyStorage); zeros unless wal_fault armed.
+  store::FaultyStorage::Stats storage_fault_stats;
 
   /// Transferable evidence of equivocation (net/auth.hpp), when the signing
   /// layer saw one: either assembled by a receiver that observed both

@@ -10,13 +10,19 @@ bool in_window(SimTime t, SimTime from, SimTime until) {
   return t >= from && t < until;
 }
 
+// Compiled instance confinement: an empty scope matches everything, a
+// non-empty scope matches only its own topic namespace.
+bool in_scope(const std::string& topic_scope, std::string_view topic) {
+  return topic_scope.empty() ||
+         topic.substr(0, topic_scope.size()) == topic_scope;
+}
+
 }  // namespace
 
 bool LinkFault::matches(NodeId f, NodeId t, std::string_view topic,
                         SimTime depart) const {
   if (!in_window(depart, active_from, active_until)) return false;
-  if (!topic_scope.empty() &&
-      topic.substr(0, topic_scope.size()) != topic_scope) {
+  if (!in_scope(topic_scope, topic)) {
     return false;  // instance-confined rule, foreign instance's traffic
   }
   const bool forward = (from == kNoNode || from == f) && (to == kNoNode || to == t);
@@ -28,9 +34,11 @@ bool LinkFault::matches(NodeId f, NodeId t, std::string_view topic,
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed) {}
 
-bool FaultInjector::severed(NodeId from, NodeId to, SimTime depart) {
+bool FaultInjector::severed(NodeId from, NodeId to, std::string_view topic,
+                            SimTime depart) {
   for (const LinkCut& c : plan_.cuts) {
     if (!in_window(depart, c.from, c.until)) continue;
+    if (!in_scope(c.topic_scope, topic)) continue;
     if ((c.a == from && c.b == to) || (c.a == to && c.b == from)) {
       ++stats_.cut_dropped;
       return true;
@@ -38,6 +46,7 @@ bool FaultInjector::severed(NodeId from, NodeId to, SimTime depart) {
   }
   for (const Partition& p : plan_.partitions) {
     if (!in_window(depart, p.from, p.until)) continue;
+    if (!in_scope(p.topic_scope, topic)) continue;
     const bool from_in = std::find(p.group.begin(), p.group.end(), from) != p.group.end();
     const bool to_in = std::find(p.group.begin(), p.group.end(), to) != p.group.end();
     if (from_in != to_in) {
@@ -61,7 +70,7 @@ FaultInjector::SendVerdict FaultInjector::on_send(NodeId from, NodeId to,
     v.deliver = false;
     return v;
   }
-  if (severed(from, to, depart)) {
+  if (severed(from, to, topic, depart)) {
     v.deliver = false;
     return v;
   }

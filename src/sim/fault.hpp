@@ -75,6 +75,11 @@ struct LinkCut {
   NodeId b = kNoNode;
   SimTime from = kSimStart;
   SimTime until = kSimForever;
+  /// Instance filter + compiled topic prefix, same contract as LinkFault:
+  /// an instance-confined cut severs only that instance's topic namespace
+  /// while co-tenant instances keep flowing over the shared link.
+  std::uint64_t instance = kAnyInstance;
+  std::string topic_scope;
 };
 
 /// Network partition during [from, until): messages crossing the boundary
@@ -83,6 +88,9 @@ struct Partition {
   std::vector<NodeId> group;
   SimTime from = kSimStart;
   SimTime until = kSimForever;
+  /// Instance filter + compiled topic prefix, same contract as LinkFault.
+  std::uint64_t instance = kAnyInstance;
+  std::string topic_scope;
 };
 
 /// What a crashed node keeps across its down window.
@@ -169,7 +177,7 @@ class FaultInjector {
   const FaultStats& stats() const { return stats_; }
 
  private:
-  bool severed(NodeId from, NodeId to, SimTime depart);
+  bool severed(NodeId from, NodeId to, std::string_view topic, SimTime depart);
 
   FaultPlan plan_;
   crypto::Rng rng_;

@@ -94,7 +94,7 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
     return out;
   }
   FuzzBounds b;
-  bool latencies_set = false, strategies_set = false;
+  bool latencies_set = false, strategies_set = false, bidders_set = false;
   for (const serde::IniSection& sec : ini.doc->sections) {
     if (sec.name.empty() && sec.entries.empty()) continue;
     const bool shape = sec.name == "shape";
@@ -164,7 +164,16 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
       else if (knobs && kv.key == "p_auth_adversary") good = prob(b.p_auth_adversary);
       else if (knobs && kv.key == "p_deviation") good = prob(b.p_deviation);
       else if (knobs && kv.key == "p_service") good = prob(b.p_service);
-      else if (knobs && kv.key == "strategies") {
+      else if (knobs && kv.key == "p_instance_scope") good = prob(b.p_instance_scope);
+      else if (knobs && kv.key == "p_bidder_adversary")
+        good = prob(b.p_bidder_adversary);
+      else if (knobs && kv.key == "p_wal_corrupt") good = prob(b.p_wal_corrupt);
+      else if (knobs && kv.key == "bidder_behaviours") {
+        // Like strategies: names are validated downstream by the scenario
+        // parser (adversary::bidder_behaviour_by_name); here non-emptiness.
+        b.bidder_behaviours = split_words(kv.value);
+        bidders_set = true;
+      } else if (knobs && kv.key == "strategies") {
         // Names are validated downstream by the scenario parser (the
         // deviation registry lives above this layer); here only non-emptiness.
         b.strategies = split_words(kv.value);
@@ -209,6 +218,10 @@ FuzzBoundsParse parse_fuzz_bounds(std::string_view text) {
   }
   if (strategies_set && b.strategies.empty()) {
     out.error = "strategies must name at least one deviation strategy";
+    return out;
+  }
+  if (bidders_set && b.bidder_behaviours.empty()) {
+    out.error = "bidder_behaviours must name at least one behaviour";
     return out;
   }
   if (b.horizon <= 0) {
@@ -416,17 +429,81 @@ FuzzCase PlanFuzzer::generate(std::uint64_t index,
   }
 
   // --- service plane ---
-  // Drawn last so single-run cases are byte-identical to the pre-service
-  // fuzzer at the same (seed, index) — the service coin only appends draws.
+  // New axes only ever *append* draws after the pre-existing ones, so every
+  // field drawn above is identical at the same (seed, index) across fuzzer
+  // versions that share the draw prefix.
   if (s.coin(b.p_service)) {
     c.instances = static_cast<std::size_t>(s.range(2, b.max_instances));
     c.pipeline_depth = static_cast<std::size_t>(
         s.range(1, std::min(b.max_pipeline_depth, c.instances)));
     // Scenario validation rejects amnesia with [service] (per-node durable
     // state is shared across instances), so degrade those crashes to the
-    // plain in-memory recover mode.
-    for (CrashEvent& crash : c.faults.crashes)
-      if (crash.mode == CrashMode::kAmnesia) crash.mode = CrashMode::kRecover;
+    // plain in-memory recover mode. Record each degradation: replay tooling
+    // must print what the generator changed (see FuzzCase::degradations).
+    for (CrashEvent& crash : c.faults.crashes) {
+      if (crash.mode == CrashMode::kAmnesia) {
+        crash.mode = CrashMode::kRecover;
+        c.degradations.push_back(
+            "amnesia crash on node " + std::to_string(crash.node) +
+            " degraded to recover (amnesia is invalid with [service])");
+      }
+    }
+
+    // --- instance-scoped fault rules ---
+    // Confine a coin's worth of rules to one auction instance's topic
+    // namespace; the service runtime compiles instance → topic_scope. The
+    // faulted instance must then ⊥ (or survive) alone while co-tenant
+    // instances sharing the ReliableLink/signer must still match their
+    // standalone twins — the per-instance oracle checks exactly that.
+    const auto scoped = [&]() -> std::uint64_t {
+      return s.rng.next_below(c.instances);
+    };
+    for (LinkFault& f : c.faults.links)
+      if (s.coin(b.p_instance_scope)) f.instance = scoped();
+    for (LinkCut& cut : c.faults.cuts)
+      if (s.coin(b.p_instance_scope)) cut.instance = scoped();
+    for (Partition& p : c.faults.partitions)
+      if (s.coin(b.p_instance_scope)) p.instance = scoped();
+    for (FuzzCase::Deviation& d : c.deviations)
+      if (s.coin(b.p_instance_scope)) d.instance = scoped();
+  }
+
+  // --- bidder-side adversaries ---
+  // Bidders are not providers: no k budget — however many misbehave, the
+  // honest providers' agreement must exclude their bids or ⊥ explicitly.
+  if (!b.bidder_behaviours.empty() && s.coin(b.p_bidder_adversary)) {
+    std::vector<NodeId> bidder_pool(c.users);
+    for (std::size_t j = 0; j < c.users; ++j)
+      bidder_pool[j] = static_cast<NodeId>(j);
+    const std::size_t n_bad = static_cast<std::size_t>(
+        s.range(1, std::min<std::size_t>(3, c.users)));
+    for (std::size_t i = 0; i < n_bad; ++i) {
+      FuzzCase::BidderAdversary bad;
+      bad.bidder = static_cast<BidderId>(s.draw(bidder_pool));
+      bad.behaviour =
+          b.bidder_behaviours[s.rng.next_below(b.bidder_behaviours.size())];
+      c.bidder_adversaries.push_back(bad);
+    }
+    std::sort(c.bidder_adversaries.begin(), c.bidder_adversaries.end(),
+              [](const auto& x, const auto& y) { return x.bidder < y.bidder; });
+    c.bid_replay = s.coin(0.3);
+    c.bid_reorder = s.coin(0.3);
+  }
+
+  // --- in-flight WAL corruption ---
+  // Only meaningful when an amnesia crash survived the draws above (service
+  // degradation already ran, so the check is deterministic): recovery then
+  // replays from a live tail FaultyStorage damaged at the crash instant.
+  const bool any_amnesia = std::any_of(
+      c.faults.crashes.begin(), c.faults.crashes.end(),
+      [](const CrashEvent& cr) { return cr.mode == CrashMode::kAmnesia; });
+  if (any_amnesia && s.coin(b.p_wal_corrupt)) {
+    c.wal_corrupt = true;
+    c.wal_fault_seed = s.rng.next_u64();
+    c.wal_sync_drop = s.rate(0.9);
+    // torn + flip ≤ 1 by construction: crash() draws one damage mode.
+    c.wal_torn = s.rate(0.6);
+    c.wal_flip = s.rate(0.4);
   }
   return c;
 }

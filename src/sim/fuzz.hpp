@@ -85,6 +85,25 @@ struct FuzzBounds {
   /// recover in service cases — scenario validation rejects amnesia with
   /// [service] because per-node durable state is shared across instances.
   double p_service = 0.35;
+  /// Given a service case: per fault rule (link / cut / partition /
+  /// deviation), P(the rule gets an instance= filter confining it to one
+  /// auction's topic namespace while co-tenants share the wire).
+  double p_instance_scope = 0.5;
+  /// At least one adversarial bidder (adversary/bidder_adversary.hpp),
+  /// possibly with replayed/reordered bid frames. Bidders are not providers:
+  /// no k budget is spent — Definition 1 promises the outcome excludes their
+  /// bids no matter how many misbehave.
+  double p_bidder_adversary = 0.3;
+  /// Given wal + a surviving amnesia crash: P(the recovering node's storage
+  /// is wrapped in store::FaultyStorage so recovery replays a damaged live
+  /// tail — dropped fsyncs plus torn-write/bit-flip crash damage).
+  double p_wal_corrupt = 0.3;
+  /// Adversarial bidder behaviour pool (names resolved by
+  /// adversary::bidder_behaviour_by_name via the scenario parser). "honest"
+  /// would be a no-op draw and is deliberately absent.
+  std::vector<std::string> bidder_behaviours = {
+      "silent", "malformed", "out-of-range", "equivocate",
+  };
   /// Deviation strategy pool. Protocol-level deviations only: misreport-ask
   /// is deliberately absent — lying about one's own cost is input
   /// manipulation the mechanism prices in, so the run completes ok with a
@@ -138,6 +157,9 @@ struct FuzzCase {
   struct Deviation {
     NodeId node = kNoNode;
     std::string strategy;
+    /// Instance filter (service cases only): kAnyInstance = deviate in every
+    /// instance, otherwise the node deviates only in this one.
+    std::uint64_t instance = kAnyInstance;
   };
   std::vector<Deviation> deviations;
 
@@ -146,6 +168,29 @@ struct FuzzCase {
   /// FuzzBounds::p_service).
   std::size_t instances = 1;
   std::size_t pipeline_depth = 1;
+
+  /// Bidder-side adversaries (FuzzBounds::p_bidder_adversary).
+  struct BidderAdversary {
+    BidderId bidder = 0;
+    std::string behaviour;  ///< name in FuzzBounds::bidder_behaviours
+  };
+  std::vector<BidderAdversary> bidder_adversaries;
+  bool bid_replay = false;   ///< client injects every bid frame twice
+  bool bid_reorder = false;  ///< client walks providers in reverse order
+
+  /// In-flight WAL corruption (FuzzBounds::p_wal_corrupt): wrap amnesia
+  /// nodes' storage in store::FaultyStorage with these knobs.
+  bool wal_corrupt = false;
+  std::uint64_t wal_fault_seed = 0;
+  double wal_sync_drop = 0.0;
+  double wal_torn = 0.0;
+  double wal_flip = 0.0;
+
+  /// Plan degradations the generator applied to keep the case valid (e.g.
+  /// amnesia → recover in service mode). Replay tooling must surface these —
+  /// a shard log that silently diverges from the emitted scenario is a
+  /// debugging trap (ISSUE 10 satellite).
+  std::vector<std::string> degradations;
 };
 
 class PlanFuzzer {

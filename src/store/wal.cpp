@@ -296,4 +296,62 @@ bool meta_matches(const WalMeta& recovered, const WalMeta& expected,
   return true;
 }
 
+// --- FaultyStorage ----------------------------------------------------------
+
+FaultyStorage::FaultyStorage(std::shared_ptr<Storage> inner,
+                             StorageFaultConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  size_ = synced_bytes_ = inner_->read_all().size();
+}
+
+bool FaultyStorage::append(BytesView data) {
+  if (!inner_->append(data)) return false;
+  size_ += data.size();
+  return true;
+}
+
+bool FaultyStorage::sync() {
+  if (config_.sync_drop > 0 && rng_.next_double() < config_.sync_drop) {
+    ++stats_.syncs_dropped;
+    return true;  // the lying disk: reports success, commits nothing
+  }
+  if (!inner_->sync()) return false;
+  synced_bytes_ = size_;
+  return true;
+}
+
+bool FaultyStorage::truncate(std::size_t size) {
+  if (!inner_->truncate(size)) return false;
+  if (size < size_) size_ = size;
+  if (synced_bytes_ > size_) synced_bytes_ = size_;
+  return true;
+}
+
+void FaultyStorage::crash() {
+  ++stats_.crashes;
+  const std::size_t at_risk = size_ - synced_bytes_;
+  if (at_risk == 0) return;
+  const double draw = rng_.next_double();
+  if (draw < config_.torn) {
+    // Torn write: the at-risk suffix survives only up to a drawn offset.
+    // keep = 0 degenerates to a short append (the whole tail vanished).
+    const auto keep = static_cast<std::size_t>(rng_.next_below(at_risk));
+    inner_->truncate(synced_bytes_ + keep);
+    stats_.torn_bytes += at_risk - keep;
+    size_ = synced_bytes_ + keep;
+  } else if (draw < config_.torn + config_.flip) {
+    // Bit rot in the at-risk tail: rewrite the suffix with one byte flipped
+    // (Storage has no write-at-offset, so flip via truncate + re-append).
+    const std::size_t off =
+        synced_bytes_ + static_cast<std::size_t>(rng_.next_below(at_risk));
+    Bytes all = inner_->read_all();
+    all[off] ^= 0x40;
+    inner_->truncate(off);
+    inner_->append(BytesView(all.data() + off, all.size() - off));
+    ++stats_.flipped_bytes;
+  }
+  // Otherwise the at-risk suffix happened to land intact — real disks
+  // usually do commit what an un-synced write buffered.
+}
+
 }  // namespace dauct::store

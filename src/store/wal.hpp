@@ -52,6 +52,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "crypto/rng.hpp"
 
 namespace dauct::store {
 
@@ -157,6 +158,63 @@ class FileStorage final : public Storage {
   FileStorage(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
   int fd_ = -1;
   std::string path_;
+};
+
+/// Knobs for FaultyStorage below, threaded from scenario files through the
+/// runtime configs. Disabled (the default) wraps nothing.
+struct StorageFaultConfig {
+  bool enable = false;
+  std::uint64_t seed = 1;  ///< the decorator's own RNG stream
+  /// P(an individual sync() lies: reports success, commits nothing). The
+  /// un-committed suffix stays at risk until the next honest sync.
+  double sync_drop = 0.0;
+  /// P(a crash() tears the at-risk suffix at a drawn byte offset). Offset 0
+  /// degenerates to a short append that lost the whole uncommitted tail.
+  double torn = 0.0;
+  /// P(a crash() bit-flips one byte inside the at-risk suffix instead).
+  double flip = 0.0;
+};
+
+/// Seeded lying-disk decorator: models fsync drops plus power-loss damage to
+/// the bytes a dropped sync left uncommitted. Appends and reads pass through;
+/// sync() may silently not advance the durable frontier; crash() — called by
+/// the runtime at the amnesia-crash instant, before recovery reopens the log
+/// — applies drawn damage (torn write or bit flip) to the at-risk suffix.
+/// Everything up to the last *effective* sync is never touched, matching the
+/// contract real disks are asked (and sometimes fail) to honour.
+///
+/// Determinism: all draws come from the decorator's own RNG (seeded from
+/// StorageFaultConfig::seed), so a fuzzer case replays bit-identically.
+class FaultyStorage final : public Storage {
+ public:
+  struct Stats {
+    std::uint64_t syncs_dropped = 0;
+    std::uint64_t crashes = 0;       ///< crash() calls
+    std::uint64_t torn_bytes = 0;    ///< at-risk bytes lost to torn writes
+    std::uint64_t flipped_bytes = 0; ///< at-risk bytes bit-flipped
+  };
+
+  FaultyStorage(std::shared_ptr<Storage> inner, StorageFaultConfig config);
+
+  Bytes read_all() override { return inner_->read_all(); }
+  bool append(BytesView data) override;
+  bool sync() override;
+  bool truncate(std::size_t size) override;
+
+  /// Power-loss moment: damage the suffix written since the last effective
+  /// sync. Call before the recovering node reopens the log.
+  void crash();
+
+  std::size_t synced_bytes() const { return synced_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<Storage> inner_;
+  StorageFaultConfig config_;
+  crypto::Rng rng_;
+  std::size_t size_ = 0;          ///< bytes appended (tracked; Storage has no size())
+  std::size_t synced_bytes_ = 0;  ///< durable frontier: last effective sync
+  Stats stats_;
 };
 
 enum class RecordType : std::uint8_t {

@@ -234,7 +234,7 @@ TEST(Cli, ScenarioParseErrorIsReportedWithLine) {
 // Every flag dauct_fuzz parses. Mirrors parse_args() in tools/dauct_fuzz.cpp.
 constexpr const char* kKnownFuzzFlags[] = {
     "--plans", "--seed", "--index", "--bounds", "--minimize", "--out",
-    "--help",
+    "--near-miss-log", "--near-miss-probes", "--help",
 };
 
 TEST(Fuzz, HelpMentionsEveryParsedFlag) {
@@ -255,9 +255,8 @@ TEST(Fuzz, UnknownFlagAndMissingValueFail) {
 TEST(Fuzz, SmallFixedSeedRunPassesCleanly) {
   const auto r = run_fuzz("--plans 5 --seed 1");
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_NE(r.output.find("5 plan(s) checked, 0 violation(s)"),
-            std::string::npos)
-      << r.output;
+  EXPECT_NE(r.output.find("5 plan(s) checked"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
 }
 
 TEST(Fuzz, BadBoundsFileIsRejectedWithItsLine) {

@@ -21,40 +21,24 @@
 namespace dauct {
 namespace {
 
-core::DistributedAuctioneer make_auctioneer(const testutil::GoldenRun& g) {
-  core::AuctioneerSpec spec;
-  spec.m = g.m;
-  spec.k = g.k;
-  spec.num_bidders = g.n;
-  std::shared_ptr<core::AuctionAdapter> adapter;
-  if (g.standard) {
-    auction::StandardAuctionParams p;
-    p.epsilon = 0.25;
-    adapter = std::make_shared<core::StandardAuctionAdapter>(p);
-  } else {
-    adapter = std::make_shared<core::DoubleAuctionAdapter>();
-  }
-  return core::DistributedAuctioneer(spec, adapter);
-}
+// Golden auctioneer + fingerprint helpers live in test_util.hpp
+// (testutil::make_golden_auctioneer / matches_golden_fingerprint) — shared
+// with fanout_test and service_test.
 
 std::string result_digest(const runtime::SimRunResult& run) {
-  const Bytes enc = serde::encode_result(run.global_outcome.value());
-  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+  return testutil::outcome_digest(run.global_outcome);
 }
 
 TEST(DurabilityEquivalence, WalOffConstructsNothingAndMatchesGolden) {
   for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
     SCOPED_TRACE("seed=" + std::to_string(g.seed));
-    const auto auctioneer = make_auctioneer(g);
+    const auto auctioneer = testutil::make_golden_auctioneer(g);
     const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
     runtime::SimRunConfig cfg;
     cfg.seed = g.seed;  // cfg.wal defaults to disabled
     const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
-    ASSERT_TRUE(run.global_outcome.ok());
-    EXPECT_EQ(result_digest(run), g.result_sha256);
-    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
-    EXPECT_EQ(run.traffic.messages, g.messages);
-    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    EXPECT_TRUE(testutil::matches_golden_fingerprint(g, run.global_outcome,
+                                                     run.makespan, run.traffic));
     EXPECT_EQ(run.wal_stats.records_appended, 0u);
     EXPECT_EQ(run.wal_stats.commits, 0u);
     EXPECT_EQ(run.wal_stats.messages_replayed, 0u);
@@ -64,18 +48,15 @@ TEST(DurabilityEquivalence, WalOffConstructsNothingAndMatchesGolden) {
 TEST(DurabilityEquivalence, WalOnFaultFreeIsObservationallySilent) {
   for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
     SCOPED_TRACE("seed=" + std::to_string(g.seed));
-    const auto auctioneer = make_auctioneer(g);
+    const auto auctioneer = testutil::make_golden_auctioneer(g);
     const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
     runtime::SimRunConfig cfg;
     cfg.seed = g.seed;
     cfg.wal.enable = true;
     const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
-    ASSERT_TRUE(run.global_outcome.ok());
     // Journaling must not perturb the run: identical fingerprints...
-    EXPECT_EQ(result_digest(run), g.result_sha256);
-    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
-    EXPECT_EQ(run.traffic.messages, g.messages);
-    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    EXPECT_TRUE(testutil::matches_golden_fingerprint(g, run.global_outcome,
+                                                     run.makespan, run.traffic));
     // ...while the journal itself did real work.
     EXPECT_GT(run.wal_stats.records_appended, 0u);
     EXPECT_GT(run.wal_stats.commits, 0u);
@@ -93,7 +74,7 @@ TEST(DurabilityRecovery, AmnesiaKillRestartMatchesTheFaultFreeDigest) {
   const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
   ASSERT_EQ(g.m, 5u);
   ASSERT_EQ(g.seed, 7u);
-  const auto auctioneer = make_auctioneer(g);
+  const auto auctioneer = testutil::make_golden_auctioneer(g);
   const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
 
   runtime::SimRunConfig cfg;
@@ -135,7 +116,7 @@ TEST(DurabilityRecovery, AmnesiaKillRestartMatchesTheFaultFreeDigest) {
 // from its WAL the run completes with the fault-free digest.
 TEST(DurabilityRecovery, BeyondKAmnesiaBurstStillCompletes) {
   const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
-  const auto auctioneer = make_auctioneer(g);
+  const auto auctioneer = testutil::make_golden_auctioneer(g);
   const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
 
   runtime::SimRunConfig cfg;

@@ -217,19 +217,8 @@ TEST(Fanout, TcpFrameRoundTripOverSharedPayload) {
 
 TEST(FanoutEquivalence, FixedSeedRunsMatchPreRefactorFingerprints) {
   for (const testutil::GoldenRun& g : testutil::kGoldenRuns) {
-    core::AuctioneerSpec spec;
-    spec.m = g.m;
-    spec.k = g.k;
-    spec.num_bidders = g.n;
-    std::shared_ptr<core::AuctionAdapter> adapter;
-    if (g.standard) {
-      auction::StandardAuctionParams p;
-      p.epsilon = 0.25;
-      adapter = std::make_shared<core::StandardAuctionAdapter>(p);
-    } else {
-      adapter = std::make_shared<core::DoubleAuctionAdapter>();
-    }
-    const core::DistributedAuctioneer auctioneer(spec, adapter);
+    const core::DistributedAuctioneer auctioneer =
+        testutil::make_golden_auctioneer(g);
     const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
 
     runtime::SimRunConfig cfg;
@@ -238,13 +227,46 @@ TEST(FanoutEquivalence, FixedSeedRunsMatchPreRefactorFingerprints) {
 
     SCOPED_TRACE("n=" + std::to_string(g.n) + " m=" + std::to_string(g.m) +
                  " k=" + std::to_string(g.k) + " seed=" + std::to_string(g.seed));
-    ASSERT_TRUE(run.global_outcome.ok());
-    const Bytes enc = serde::encode_result(run.global_outcome.value());
-    EXPECT_EQ(crypto::digest_hex(crypto::sha256(BytesView(enc))), g.result_sha256);
-    EXPECT_EQ(run.makespan, static_cast<sim::SimTime>(g.makespan));
-    EXPECT_EQ(run.traffic.messages, g.messages);
-    EXPECT_EQ(run.traffic.bytes, g.bytes);
+    EXPECT_TRUE(testutil::matches_golden_fingerprint(g, run.global_outcome,
+                                                     run.makespan, run.traffic));
   }
+}
+
+// The shared assertion must actually discriminate: a fingerprint perturbed
+// in ANY field (digest, makespan, either traffic counter) is rejected, and
+// a ⊥ outcome never aliases a pinned digest. Guards the helper itself —
+// a fingerprint check that accepts everything pins nothing.
+TEST(FanoutEquivalence, GoldenFingerprintHelperRejectsPerturbedFingerprints) {
+  const testutil::GoldenRun& g = testutil::kGoldenRuns[1];
+  const core::DistributedAuctioneer auctioneer =
+      testutil::make_golden_auctioneer(g);
+  const auto inst = testutil::make_instance(g.n, g.m, g.seed, g.standard);
+  runtime::SimRunConfig cfg;
+  cfg.seed = g.seed;
+  const auto run = runtime::SimRuntime(cfg).run_distributed(auctioneer, inst);
+  ASSERT_TRUE(testutil::matches_golden_fingerprint(g, run.global_outcome,
+                                                   run.makespan, run.traffic));
+
+  testutil::GoldenRun bad = g;
+  bad.result_sha256 = "0000000000000000000000000000000000000000000000000000000000000000";
+  EXPECT_FALSE(testutil::matches_golden_fingerprint(bad, run.global_outcome,
+                                                    run.makespan, run.traffic));
+  bad = g;
+  bad.makespan += 1;
+  EXPECT_FALSE(testutil::matches_golden_fingerprint(bad, run.global_outcome,
+                                                    run.makespan, run.traffic));
+  bad = g;
+  bad.messages += 1;
+  EXPECT_FALSE(testutil::matches_golden_fingerprint(bad, run.global_outcome,
+                                                    run.makespan, run.traffic));
+  bad = g;
+  bad.bytes -= 1;
+  EXPECT_FALSE(testutil::matches_golden_fingerprint(bad, run.global_outcome,
+                                                    run.makespan, run.traffic));
+  // ⊥ never matches: its digest is "" by construction.
+  const auction::AuctionOutcome bottom{Bottom{AbortReason::kTimeout, "test"}};
+  EXPECT_FALSE(testutil::matches_golden_fingerprint(g, bottom, run.makespan,
+                                                    run.traffic));
 }
 
 }  // namespace

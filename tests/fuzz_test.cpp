@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "runtime/fuzz_harness.hpp"
@@ -127,7 +128,8 @@ TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
 
     // Service-plane draws: a service case stays inside the declared caps and
     // never carries amnesia (scenario validation rejects amnesia with
-    // [service]; the generator degrades those crashes to plain recover).
+    // [service]; the generator degrades those crashes to plain recover and
+    // records the degradation).
     if (c.instances > 1) {
       EXPECT_LE(c.instances, b.max_instances);
       EXPECT_GE(c.pipeline_depth, 1u);
@@ -139,6 +141,55 @@ TEST(PlanFuzzer, EveryCaseRespectsTheDeclaredBounds) {
     } else {
       EXPECT_EQ(c.instances, 1u);
       EXPECT_EQ(c.pipeline_depth, 1u);
+    }
+
+    // Instance-scoped rules: a drawn filter names a real instance of a
+    // service case — and only service cases may carry one at all.
+    const auto check_scope = [&](std::uint64_t instance, const char* kind) {
+      if (instance == sim::kAnyInstance) return;
+      EXPECT_GT(c.instances, 1u) << kind << " instance filter without service";
+      EXPECT_LT(instance, c.instances) << kind << " filter names a dead instance";
+    };
+    for (const sim::LinkFault& f : c.faults.links) check_scope(f.instance, "link");
+    for (const sim::LinkCut& cut : c.faults.cuts) check_scope(cut.instance, "cut");
+    for (const sim::Partition& p : c.faults.partitions) {
+      check_scope(p.instance, "partition");
+    }
+    for (const FuzzCase::Deviation& d : c.deviations) {
+      check_scope(d.instance, "deviation");
+    }
+
+    // Bidder adversaries: distinct real bidders, behaviours from the pool,
+    // bounded count. (Bidders spend no k budget — they are users, and
+    // Definition 1 already excludes their bids from the honest agreement.)
+    EXPECT_LE(c.bidder_adversaries.size(),
+              std::min<std::size_t>(3, c.users));
+    std::set<BidderId> bad_bidders;
+    for (const FuzzCase::BidderAdversary& a : c.bidder_adversaries) {
+      EXPECT_LT(a.bidder, c.users);
+      EXPECT_TRUE(bad_bidders.insert(a.bidder).second) << "bidder drawn twice";
+      EXPECT_TRUE(std::find(b.bidder_behaviours.begin(),
+                            b.bidder_behaviours.end(),
+                            a.behaviour) != b.bidder_behaviours.end())
+          << "behaviour '" << a.behaviour << "' not in the declared pool";
+    }
+    if (c.bidder_adversaries.empty()) {
+      EXPECT_FALSE(c.bid_replay) << "frame tricks without a bidder adversary";
+      EXPECT_FALSE(c.bid_reorder);
+    }
+
+    // In-flight WAL corruption arms only over a live WAL with an amnesia
+    // crash to damage at, and its one-draw damage split stays a probability.
+    if (c.wal_corrupt) {
+      EXPECT_TRUE(c.wal) << "corrupt WAL without a WAL";
+      EXPECT_TRUE(std::any_of(c.faults.crashes.begin(), c.faults.crashes.end(),
+                              [](const sim::CrashEvent& cr) {
+                                return cr.mode == sim::CrashMode::kAmnesia;
+                              }))
+          << "corrupt WAL with no amnesia crash to damage";
+      EXPECT_LE(c.wal_torn + c.wal_flip, 1.0);
+      EXPECT_GE(c.wal_sync_drop, 0.0);
+      EXPECT_LE(c.wal_sync_drop, 0.9);
     }
   }
 }
@@ -195,6 +246,107 @@ TEST(PlanFuzzer, AmnesiaCrashesActuallyAppearInTheStream) {
   }
 }
 
+/// Bounds that force every new adversarial axis on, so a short stream is
+/// guaranteed to exercise them (the checked-in CI shard bounds file mirrors
+/// this shape).
+FuzzBounds adversary_bounds() {
+  FuzzBounds b;
+  b.p_service = 0.5;
+  b.p_instance_scope = 1.0;
+  b.p_bidder_adversary = 1.0;
+  b.p_wal_corrupt = 1.0;
+  return b;
+}
+
+TEST(PlanFuzzer, AdversaryAxesActuallyAppearInTheStream) {
+  // Coverage sanity: with the axes forced on, a short stream must contain
+  // bidder adversaries, frame tricks, instance-scoped rules, and corrupt-WAL
+  // cases — and scenario_from_case must carry each through verbatim.
+  PlanFuzzer fuzzer(adversary_bounds(), 29);
+  int bidders = 0, tricks = 0, scoped = 0, corrupt = 0;
+  for (int i = 0; i < 150; ++i) {
+    const FuzzCase c = fuzzer.next();
+    const Scenario sc = runtime::scenario_from_case(c);
+    ASSERT_EQ(sc.bidders.size(), c.bidder_adversaries.size());
+    for (std::size_t j = 0; j < sc.bidders.size(); ++j) {
+      EXPECT_EQ(sc.bidders[j].bidder, c.bidder_adversaries[j].bidder);
+      EXPECT_EQ(sc.bidders[j].behaviour, c.bidder_adversaries[j].behaviour);
+    }
+    EXPECT_EQ(sc.bid_frames.replay, c.bid_replay);
+    EXPECT_EQ(sc.bid_frames.reorder, c.bid_reorder);
+    EXPECT_EQ(sc.wal_fault.enable, c.wal_corrupt);
+    if (c.wal_corrupt) {
+      EXPECT_EQ(sc.wal_fault.seed, c.wal_fault_seed);
+      EXPECT_EQ(sc.wal_fault.sync_drop, c.wal_sync_drop);
+      EXPECT_EQ(sc.wal_fault.torn, c.wal_torn);
+      EXPECT_EQ(sc.wal_fault.flip, c.wal_flip);
+    }
+    if (!c.bidder_adversaries.empty()) ++bidders;
+    if (c.bid_replay || c.bid_reorder) ++tricks;
+    if (c.wal_corrupt) ++corrupt;
+    for (const sim::LinkFault& f : c.faults.links) {
+      if (f.instance != sim::kAnyInstance) ++scoped;
+    }
+    for (const sim::LinkCut& cut : c.faults.cuts) {
+      if (cut.instance != sim::kAnyInstance) ++scoped;
+    }
+  }
+  EXPECT_GT(bidders, 0) << "p_bidder_adversary = 1 produced no adversary";
+  EXPECT_GT(tricks, 0) << "frame tricks never drawn";
+  EXPECT_GT(scoped, 0) << "p_instance_scope = 1 produced no scoped rule";
+  EXPECT_GT(corrupt, 0) << "p_wal_corrupt = 1 produced no corrupt-WAL case";
+
+  // And zeroing the axes eliminates them (the default-shard contract).
+  FuzzBounds off;
+  off.p_instance_scope = 0.0;
+  off.p_bidder_adversary = 0.0;
+  off.p_wal_corrupt = 0.0;
+  PlanFuzzer none(off, 29);
+  for (int i = 0; i < 100; ++i) {
+    const FuzzCase c = none.next();
+    EXPECT_TRUE(c.bidder_adversaries.empty());
+    EXPECT_FALSE(c.bid_replay);
+    EXPECT_FALSE(c.bid_reorder);
+    EXPECT_FALSE(c.wal_corrupt);
+    for (const sim::LinkFault& f : c.faults.links) {
+      EXPECT_EQ(f.instance, sim::kAnyInstance);
+    }
+  }
+}
+
+// S1 regression: a degraded plan (amnesia crash drawn into a [service] case,
+// demoted to plain recover) must record the degradation, and nth() must
+// replay the degraded (seed, index) pair byte-identically — the CLI prints
+// these lines so an operator replaying a repro sees what changed.
+TEST(PlanFuzzer, DegradedCaseIsRecordedAndReplaysByteIdentically) {
+  const std::uint64_t seed = 7;
+  PlanFuzzer stream(FuzzBounds{}, seed);
+  std::optional<std::uint64_t> degraded_index;
+  std::vector<std::string> degradations;
+  std::string text;
+  for (int i = 0; i < 400 && !degraded_index; ++i) {
+    const FuzzCase c = stream.next();
+    if (!c.degradations.empty()) {
+      degraded_index = c.index;
+      degradations = c.degradations;
+      text = scn_of(c);
+    }
+  }
+  ASSERT_TRUE(degraded_index.has_value())
+      << "400 default-bounds cases with no degraded amnesia crash — the "
+         "degradation path is dead code";
+
+  const PlanFuzzer replay(FuzzBounds{}, seed);
+  const FuzzCase again = replay.nth(*degraded_index);
+  EXPECT_EQ(again.degradations, degradations);
+  EXPECT_FALSE(again.degradations.empty());
+  EXPECT_GT(again.instances, 1u);  // only service cases degrade
+  EXPECT_EQ(scn_of(again), text);
+  // The record is human-actionable: it names the node and the reason.
+  EXPECT_NE(again.degradations[0].find("degraded to recover"),
+            std::string::npos);
+}
+
 TEST(PlanFuzzer, EveryGeneratedScenarioSurvivesTheStrictScnParser) {
   PlanFuzzer fuzzer(FuzzBounds{}, 11);
   for (int i = 0; i < 100; ++i) {
@@ -205,6 +357,18 @@ TEST(PlanFuzzer, EveryGeneratedScenarioSurvivesTheStrictScnParser) {
                              << "\n--- emitted .scn ---\n" << text;
     // And the round-trip is a fixpoint: emit(parse(emit(x))) == emit(x).
     EXPECT_EQ(parsed.scenario->to_scn(), text) << "case " << c.index;
+  }
+  // Same fixpoint with every adversarial axis forced on, so the [bidder],
+  // [bid_frames], [wal] corrupt and instance= emissions all round-trip.
+  PlanFuzzer adv(adversary_bounds(), 11);
+  for (int i = 0; i < 100; ++i) {
+    const FuzzCase c = adv.next();
+    const std::string text = scn_of(c);
+    const runtime::ScenarioParse parsed = runtime::parse_scenario(text);
+    ASSERT_TRUE(parsed.ok()) << "adversary case " << c.index << ": "
+                             << parsed.error << "\n--- emitted .scn ---\n"
+                             << text;
+    EXPECT_EQ(parsed.scenario->to_scn(), text) << "adversary case " << c.index;
   }
 }
 
@@ -370,6 +534,102 @@ TEST(FuzzMinimizer, AmnesiaModeIsShrunkWhenTheFailureDoesNotNeedIt) {
 
   // The emitted repro survives the strict parser (the validator would reject
   // a leftover mode=amnesia without recover_ms).
+  const runtime::ScenarioParse parsed =
+      runtime::parse_scenario(min.scenario.to_scn());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+}
+
+TEST(FuzzMinimizer, BidderAndFrameClausesAreRemovableNoise) {
+  // Known-bad oracle keyed on "a crash of node 0 exists": the bidder
+  // adversaries, both frame tricks, and the corrupt-WAL knob are all noise
+  // the new clause pool must strip — and dropping the amnesia crash's mode
+  // must drop the lying disk with it (it has no crash left to arm at).
+  const auto crash0_oracle = [](const Scenario& sc) {
+    for (const sim::CrashEvent& cr : sc.faults.crashes) {
+      if (cr.node == 0) return FuzzVerdict::kWrongResult;
+    }
+    return FuzzVerdict::kPass;
+  };
+  Scenario sc = base_scenario();
+  sc.reliability.enable = true;
+  sc.wal.enable = true;
+  sim::CrashEvent crash{0, sim::from_millis(10)};
+  crash.recover_at = sim::from_millis(30);
+  crash.mode = sim::CrashMode::kAmnesia;
+  sc.faults.crashes.push_back(crash);
+  sc.bidders.push_back(runtime::BidderSpec{1, "malformed"});
+  sc.bidders.push_back(runtime::BidderSpec{3, "silent"});
+  sc.bid_frames.replay = true;
+  sc.bid_frames.reorder = true;
+  sc.wal_fault.enable = true;
+  sc.wal_fault.sync_drop = 0.5;
+  sc.wal_fault.torn = 0.5;
+
+  const runtime::MinimizeResult min =
+      runtime::minimize(sc, FuzzVerdict::kWrongResult, crash0_oracle);
+  EXPECT_TRUE(min.scenario.bidders.empty());
+  EXPECT_FALSE(min.scenario.bid_frames.replay);
+  EXPECT_FALSE(min.scenario.bid_frames.reorder);
+  EXPECT_FALSE(min.scenario.wal_fault.enable);
+  ASSERT_EQ(min.scenario.faults.crashes.size(), 1u);
+  EXPECT_EQ(min.scenario.faults.crashes[0].mode, sim::CrashMode::kRecover);
+
+  // The emitted repro survives the strict parser (a leftover corrupt knob
+  // without an amnesia crash would be rejected).
+  const runtime::ScenarioParse parsed =
+      runtime::parse_scenario(min.scenario.to_scn());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+}
+
+TEST(FuzzMinimizer, TriggeringBidderClauseSurvivesMinimization) {
+  // Dual of the noise test: when the failure IS a bidder clause, ddmin must
+  // keep exactly that clause and drop the co-drawn fault noise.
+  const auto malformed_oracle = [](const Scenario& sc) {
+    for (const runtime::BidderSpec& b : sc.bidders) {
+      if (b.behaviour == "malformed") return FuzzVerdict::kWrongResult;
+    }
+    return FuzzVerdict::kPass;
+  };
+  Scenario sc = base_scenario();
+  sc.bidders.push_back(runtime::BidderSpec{1, "silent"});
+  sc.bidders.push_back(runtime::BidderSpec{2, "malformed"});
+  sc.bid_frames.reorder = true;
+  sc.faults.cuts.push_back(sim::LinkCut{0, 1});
+  sim::LinkFault noise;
+  noise.drop = 0.2;
+  sc.faults.links.push_back(noise);
+
+  const runtime::MinimizeResult min =
+      runtime::minimize(sc, FuzzVerdict::kWrongResult, malformed_oracle);
+  ASSERT_EQ(min.scenario.bidders.size(), 1u);
+  EXPECT_EQ(min.scenario.bidders[0].behaviour, "malformed");
+  EXPECT_FALSE(min.scenario.bid_frames.reorder);
+  EXPECT_TRUE(min.scenario.faults.cuts.empty());
+  EXPECT_TRUE(min.scenario.faults.links.empty());
+  EXPECT_EQ(malformed_oracle(min.scenario), FuzzVerdict::kWrongResult);
+}
+
+TEST(FuzzMinimizer, InstanceFiltersGeneralizeAwayWhenUnneeded) {
+  // A cut confined to instance 1 where the injected failure doesn't care
+  // about the confinement: the shrinker must widen the filter back to
+  // every-instance (and may shrink the service shape toward the floor).
+  const auto any_cut_oracle = [](const Scenario& sc) {
+    return sc.faults.cuts.empty() ? FuzzVerdict::kPass
+                                  : FuzzVerdict::kWrongResult;
+  };
+  Scenario sc = base_scenario();
+  sc.instances = 3;
+  sc.pipeline_depth = 2;
+  sim::LinkCut cut{0, 1};
+  cut.instance = 1;
+  sc.faults.cuts.push_back(cut);
+
+  const runtime::MinimizeResult min =
+      runtime::minimize(sc, FuzzVerdict::kWrongResult, any_cut_oracle);
+  ASSERT_EQ(min.scenario.faults.cuts.size(), 1u);
+  EXPECT_EQ(min.scenario.faults.cuts[0].instance, sim::kAnyInstance);
+  EXPECT_LE(min.scenario.instances, 2u);
+  EXPECT_EQ(min.scenario.pipeline_depth, 1u);
   const runtime::ScenarioParse parsed =
       runtime::parse_scenario(min.scenario.to_scn());
   ASSERT_TRUE(parsed.ok()) << parsed.error;

@@ -1,0 +1,157 @@
+// Table-driven verdict pins for the fuzz safety oracle
+// (runtime/fuzz_harness.hpp).
+//
+// Each row builds one scenario whose run outcome lands in a known class —
+// clean match, explicit ⊥-with-reason, silently wrong digest, event-budget
+// trip, starved clean twin — and the table asserts the EXACT verdict plus a
+// stable fragment of the human-readable detail line. The point is to pin the
+// oracle's decision table itself, independent of the fuzzer: a future edit
+// that, say, starts classifying explicit ⊥ as a violation (or stops
+// classifying a budget trip as one) fails here with the offending row named.
+//
+// The per-instance verdicts ([service] runs) get their own suite: a
+// deviation confined to instance 1 must produce kWrongResult for exactly
+// that instance and kPass for its co-tenant, and the overall verdict must be
+// the worst instance verdict.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/fuzz_harness.hpp"
+
+namespace dauct {
+namespace {
+
+using runtime::FuzzVerdict;
+using runtime::Scenario;
+
+/// Small fast shape (zero latency): 6 users, 3 providers, k = 1, seed 5.
+Scenario base() {
+  Scenario sc;
+  sc.name = "oracle-table-base";
+  sc.users = 6;
+  sc.providers = 3;
+  sc.k = 1;
+  sc.seed = 5;
+  sc.latency = "zero";
+  return sc;
+}
+
+/// The event budget that starves the FAULTY run but not the clean twin:
+/// heavy duplication makes the faulty run strictly hungrier, so the midpoint
+/// between the two appetites trips exactly one of them.
+std::uint64_t budget_between_clean_and_faulty(const Scenario& sc) {
+  const runtime::ScenarioRun wide = runtime::run_scenario(sc, true);
+  const std::uint64_t clean_events = wide.clean->events_dispatched;
+  const std::uint64_t faulty_events = wide.run.events_dispatched;
+  return clean_events + (faulty_events - clean_events) / 2;
+}
+
+TEST(OracleTable, VerdictsAreExactPerOutcomeClass) {
+  struct Row {
+    const char* name;
+    std::function<Scenario()> build;
+    FuzzVerdict want;
+    const char* detail_fragment;  ///< must appear in report.detail
+  };
+  const std::vector<Row> rows = {
+      {"clean-match",
+       [] { return base(); },
+       FuzzVerdict::kPass, "matches clean"},
+
+      {"bottom-with-reason",  // crash-stop of a provider: an allowed ⊥
+       [] {
+         Scenario sc = base();
+         sc.faults.crashes.push_back(sim::CrashEvent{0, 0});
+         return sc;
+       },
+       FuzzVerdict::kPass, "explicit bottom"},
+
+      {"wrong-digest",  // input manipulation: ok, but not the clean result
+       [] {
+         Scenario sc = base();
+         sc.deviations.push_back(runtime::DeviationSpec{
+             0, "misreport-ask", Money::from_units(1'000'000)});
+         return sc;
+       },
+       FuzzVerdict::kWrongResult, "!= clean"},
+
+      {"budget-trip",  // duplication storm cut off mid-flight
+       [] {
+         Scenario sc = base();
+         sim::LinkFault rule;
+         rule.duplicate = 1.0;
+         sc.faults.links.push_back(rule);
+         sc.max_events = budget_between_clean_and_faulty(sc);
+         return sc;
+       },
+       FuzzVerdict::kBudgetExceeded, "event budget"},
+
+      {"clean-twin-starved",  // harness misconfiguration, not a finding
+       [] {
+         Scenario sc = base();
+         sc.max_events = 10;
+         return sc;
+       },
+       FuzzVerdict::kCleanFailed, "clean twin failed"},
+  };
+
+  for (const Row& row : rows) {
+    SCOPED_TRACE(row.name);
+    const runtime::FuzzReport report = runtime::run_oracle(row.build());
+    EXPECT_EQ(report.verdict, row.want)
+        << runtime::fuzz_verdict_name(report.verdict) << " — " << report.detail;
+    EXPECT_NE(report.detail.find(row.detail_fragment), std::string::npos)
+        << "detail '" << report.detail << "' lacks '" << row.detail_fragment
+        << "'";
+    // The verdict↔violation mapping is part of the table: only kPass is
+    // non-violating.
+    EXPECT_EQ(runtime::fuzz_violation(report.verdict),
+              row.want != FuzzVerdict::kPass);
+  }
+}
+
+TEST(OracleInstances, SingleRunProducesNoInstanceVerdicts) {
+  const runtime::FuzzReport report = runtime::run_oracle(base());
+  EXPECT_TRUE(report.instance_verdicts.empty());
+}
+
+TEST(OracleInstances, CleanServiceRunPassesEveryInstance) {
+  Scenario sc = base();
+  sc.instances = 3;
+  sc.pipeline_depth = 2;
+  const runtime::FuzzReport report = runtime::run_oracle(sc);
+  EXPECT_EQ(report.verdict, FuzzVerdict::kPass) << report.detail;
+  ASSERT_EQ(report.instance_verdicts.size(), 3u);
+  for (const auto& iv : report.instance_verdicts) {
+    EXPECT_EQ(iv.verdict, FuzzVerdict::kPass) << iv.detail;
+    EXPECT_NE(iv.detail.find("matches clean instance"), std::string::npos)
+        << iv.detail;
+  }
+}
+
+TEST(OracleInstances, ConfinedDeviationIsCaughtOnExactlyItsInstance) {
+  // A result-bending deviation confined to instance 1: the per-instance
+  // sweep must flag instance 1 as wrong-result, leave instance 0 passing
+  // (it must still match its clean twin bit-for-bit — instance isolation),
+  // and surface the worst instance verdict as the overall one.
+  Scenario sc = base();
+  sc.instances = 2;
+  sc.pipeline_depth = 1;
+  sc.deviations.push_back(runtime::DeviationSpec{
+      0, "misreport-ask", Money::from_units(1'000'000), 1});
+  const runtime::FuzzReport report = runtime::run_oracle(sc);
+  ASSERT_EQ(report.instance_verdicts.size(), 2u);
+  EXPECT_EQ(report.instance_verdicts[0].verdict, FuzzVerdict::kPass)
+      << report.instance_verdicts[0].detail;
+  EXPECT_EQ(report.instance_verdicts[1].verdict, FuzzVerdict::kWrongResult)
+      << report.instance_verdicts[1].detail;
+  EXPECT_NE(report.instance_verdicts[1].detail.find("instance 1"),
+            std::string::npos);
+  EXPECT_EQ(report.verdict, FuzzVerdict::kWrongResult) << report.detail;
+}
+
+}  // namespace
+}  // namespace dauct

@@ -1,7 +1,11 @@
 // Shared test helpers: a deterministic local network for driving protocol
 // blocks without a full runtime, instance factories, golden end-to-end
-// fingerprints, and file loading for the scenario-driven suites.
+// fingerprints (plus the auctioneer factory and the fingerprint assertion
+// every equivalence suite shares), and file loading for the scenario-driven
+// suites.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
@@ -13,7 +17,11 @@
 
 #include "auction/types.hpp"
 #include "auction/workload.hpp"
+#include "core/adapters.hpp"
+#include "core/distributed_auctioneer.hpp"
+#include "crypto/sha256.hpp"
 #include "net/sim_transport.hpp"
+#include "serde/auction_codec.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dauct::testutil {
@@ -99,5 +107,60 @@ inline constexpr GoldenRun kGoldenRuns[] = {
      "02a7a7c57c0a090f897ec945a86a6db95ddf4b4019cbc5018f4257bf2eeb524a",
      24210375, 69, 9402},
 };
+
+/// The auctioneer a golden run pins (epsilon 0.25 for standard-auction
+/// entries — the value the fingerprints were recorded under).
+inline core::DistributedAuctioneer make_golden_auctioneer(const GoldenRun& g) {
+  core::AuctioneerSpec spec;
+  spec.m = g.m;
+  spec.k = g.k;
+  spec.num_bidders = g.n;
+  std::shared_ptr<core::AuctionAdapter> adapter;
+  if (g.standard) {
+    auction::StandardAuctionParams p;
+    p.epsilon = 0.25;
+    adapter = std::make_shared<core::StandardAuctionAdapter>(p);
+  } else {
+    adapter = std::make_shared<core::DoubleAuctionAdapter>();
+  }
+  return core::DistributedAuctioneer(spec, adapter);
+}
+
+/// sha256 hex of the canonical result encoding — the value the golden table
+/// pins. "" for ⊥, so a failed run can never alias a pinned digest.
+inline std::string outcome_digest(const auction::AuctionOutcome& outcome) {
+  if (!outcome.ok()) return std::string();
+  const Bytes enc = serde::encode_result(outcome.value());
+  return crypto::digest_hex(crypto::sha256(BytesView(enc)));
+}
+
+/// The golden assertion every equivalence suite shares: the run must
+/// reproduce g's ENTIRE fingerprint — result digest, virtual makespan, and
+/// both traffic counters — byte-for-byte. Returns a failure naming the first
+/// diverging field, so `EXPECT_TRUE(matches_golden_fingerprint(...))` reads
+/// like the four EXPECT_EQs it replaces.
+inline ::testing::AssertionResult matches_golden_fingerprint(
+    const GoldenRun& g, const auction::AuctionOutcome& outcome,
+    sim::SimTime makespan, const sim::TrafficStats& traffic) {
+  const std::string digest = outcome_digest(outcome);
+  if (digest != g.result_sha256) {
+    return ::testing::AssertionFailure()
+           << "result digest " << (digest.empty() ? "⊥" : digest) << " != golden "
+           << g.result_sha256;
+  }
+  if (makespan != static_cast<sim::SimTime>(g.makespan)) {
+    return ::testing::AssertionFailure()
+           << "makespan " << makespan << " != golden " << g.makespan;
+  }
+  if (traffic.messages != g.messages) {
+    return ::testing::AssertionFailure()
+           << "traffic.messages " << traffic.messages << " != golden " << g.messages;
+  }
+  if (traffic.bytes != g.bytes) {
+    return ::testing::AssertionFailure()
+           << "traffic.bytes " << traffic.bytes << " != golden " << g.bytes;
+  }
+  return ::testing::AssertionSuccess();
+}
 
 }  // namespace dauct::testutil

@@ -5,6 +5,7 @@
 // must recover to exactly the last good record, never fewer, never garbage.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -301,6 +302,142 @@ TEST(WalFileStorage, PersistsAcrossReopenAndTruncatesDamage) {
 
 TEST(WalFileStorage, OpenFailsCleanlyOnAnUnwritablePath) {
   EXPECT_EQ(FileStorage::open("/nonexistent-dir/x/y.wal"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage: the seeded lying-disk decorator
+// ---------------------------------------------------------------------------
+
+StorageFaultConfig faulty(double sync_drop, double torn, double flip,
+                          std::uint64_t seed = 42) {
+  StorageFaultConfig cfg;
+  cfg.enable = true;
+  cfg.seed = seed;
+  cfg.sync_drop = sync_drop;
+  cfg.torn = torn;
+  cfg.flip = flip;
+  return cfg;
+}
+
+TEST(FaultyStorageTest, ZeroRatesAreATransparentPassThrough) {
+  auto mem = std::make_shared<MemStorage>();
+  FaultyStorage disk(mem, faulty(0.0, 0.0, 0.0));
+  const Bytes a(10, 0xaa);
+  const Bytes b(6, 0xbb);
+  EXPECT_TRUE(disk.append(BytesView(a)));
+  EXPECT_TRUE(disk.sync());
+  EXPECT_EQ(disk.synced_bytes(), a.size());
+  EXPECT_TRUE(disk.append(BytesView(b)));
+  disk.crash();  // at-risk suffix exists, but torn and flip both lose the draw
+  Bytes expect = a;
+  expect.insert(expect.end(), b.begin(), b.end());
+  EXPECT_EQ(mem->read_all(), expect);
+  EXPECT_EQ(disk.stats().syncs_dropped, 0u);
+  EXPECT_EQ(disk.stats().crashes, 1u);
+  EXPECT_EQ(disk.stats().torn_bytes, 0u);
+  EXPECT_EQ(disk.stats().flipped_bytes, 0u);
+}
+
+TEST(FaultyStorageTest, DroppedSyncReportsSuccessButMovesNoFrontier) {
+  auto mem = std::make_shared<MemStorage>();
+  FaultyStorage disk(mem, faulty(1.0, 0.0, 0.0));
+  EXPECT_TRUE(disk.append(BytesView(Bytes(8, 0x11))));
+  EXPECT_TRUE(disk.sync());  // the lie: true, yet nothing became durable
+  EXPECT_EQ(disk.synced_bytes(), 0u);
+  EXPECT_EQ(disk.stats().syncs_dropped, 1u);
+  // The bytes themselves are still readable — only durability was lost.
+  EXPECT_EQ(mem->read_all().size(), 8u);
+}
+
+TEST(FaultyStorageTest, CrashTearsOnlyTheAtRiskSuffix) {
+  auto mem = std::make_shared<MemStorage>();
+  FaultyStorage disk(mem, faulty(0.0, 1.0, 0.0));
+  const Bytes synced(16, 0xcc);
+  EXPECT_TRUE(disk.append(BytesView(synced)));
+  EXPECT_TRUE(disk.sync());
+  EXPECT_TRUE(disk.append(BytesView(Bytes(24, 0xdd))));
+  disk.crash();
+  const Bytes after = mem->read_all();
+  // Everything up to the durable frontier is untouchable; the tail shrank.
+  ASSERT_GE(after.size(), synced.size());
+  EXPECT_LT(after.size(), synced.size() + 24u);
+  EXPECT_TRUE(std::equal(synced.begin(), synced.end(), after.begin()));
+  EXPECT_EQ(disk.stats().torn_bytes, synced.size() + 24u - after.size());
+  EXPECT_GT(disk.stats().torn_bytes, 0u);
+}
+
+TEST(FaultyStorageTest, CrashBitFlipChangesExactlyOneSuffixByte) {
+  auto mem = std::make_shared<MemStorage>();
+  FaultyStorage disk(mem, faulty(0.0, 0.0, 1.0));
+  const Bytes synced(16, 0xcc);
+  EXPECT_TRUE(disk.append(BytesView(synced)));
+  EXPECT_TRUE(disk.sync());
+  EXPECT_TRUE(disk.append(BytesView(Bytes(24, 0xdd))));
+  const Bytes before = mem->read_all();
+  disk.crash();
+  const Bytes after = mem->read_all();
+  ASSERT_EQ(after.size(), before.size());
+  std::size_t diffs = 0;
+  std::size_t diff_at = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    if (after[i] != before[i]) {
+      ++diffs;
+      diff_at = i;
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_GE(diff_at, synced.size());  // never inside the durable prefix
+  EXPECT_EQ(after[diff_at], static_cast<std::uint8_t>(before[diff_at] ^ 0x40));
+  EXPECT_EQ(disk.stats().flipped_bytes, 1u);
+}
+
+TEST(FaultyStorageTest, SameSeedReplaysTheSameDamage) {
+  const auto run_once = [](std::uint64_t seed) {
+    auto mem = std::make_shared<MemStorage>();
+    FaultyStorage disk(mem, faulty(0.5, 0.6, 0.4, seed));
+    for (int i = 0; i < 6; ++i) {
+      disk.append(BytesView(Bytes(11 + i, static_cast<std::uint8_t>(i))));
+      disk.sync();
+    }
+    disk.crash();
+    return mem->read_all();
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+TEST(FaultyStorageTest, WalRecoversACleanPrefixAfterTornCrash) {
+  // End-to-end with the log layer: every commit lied, the crash tore the
+  // whole at-risk region mid-record — Wal::open must still come back with a
+  // valid (possibly empty) prefix of the original records, never garbage.
+  auto mem = std::make_shared<MemStorage>();
+  auto disk =
+      std::make_shared<FaultyStorage>(mem, faulty(1.0, 1.0, 0.0, 7));
+  {
+    Wal wal(disk);
+    wal.open();
+    ASSERT_TRUE(
+        wal.append(RecordType::kMeta, BytesView(encode_meta(sample_meta()))));
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wal.append_message_record(
+          1, "blk/bids", BytesView(Bytes(20 + i, static_cast<std::uint8_t>(i)))));
+    }
+    ASSERT_TRUE(wal.commit());  // dropped: frontier stays at 0
+  }
+  disk->crash();
+  EXPECT_GT(disk->stats().torn_bytes, 0u);
+
+  Wal recovered(mem);
+  const WalScan scan = recovered.open();
+  EXPECT_LT(scan.records.size(), 5u);  // something was really lost
+  if (!scan.records.empty()) {
+    // Whatever survived is the original prefix, starting with intact meta.
+    EXPECT_EQ(scan.records[0].type, RecordType::kMeta);
+    const auto meta = decode_meta(BytesView(scan.records[0].payload));
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_TRUE(meta_matches(*meta, sample_meta()));
+  }
+  // Recovery truncated the torn tail durably: a re-open is clean.
+  EXPECT_EQ(scan_wal(BytesView(mem->read_all())).truncated_bytes, 0u);
 }
 
 }  // namespace
